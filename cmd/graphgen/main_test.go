@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxsched/internal/graph"
+)
+
+func TestRunModelsToStdout(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"gnm", []string{"-model", "gnm", "-vertices", "100", "-edges", "300"}},
+		{"gnp", []string{"-model", "gnp", "-vertices", "200", "-p", "0.05"}},
+		{"rmat", []string{"-model", "rmat", "-scale", "8", "-edge-factor", "4"}},
+		{"grid", []string{"-model", "grid", "-rows", "5", "-cols", "7"}},
+		{"complete", []string{"-model", "complete", "-vertices", "10"}},
+		{"path", []string{"-model", "path", "-vertices", "10"}},
+		{"cycle", []string{"-model", "cycle", "-vertices", "10"}},
+		{"star", []string{"-model", "star", "-vertices", "10"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.ReadEdgeList(&out)
+			if err != nil {
+				t.Fatalf("generated output does not parse: %v", err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.NumVertices() == 0 {
+				t.Fatal("generated empty graph")
+			}
+		})
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-model", "gnm", "-vertices", "50", "-edges", "100", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 50 || g.NumEdges() != 100 {
+		t.Fatalf("written graph has n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"unknown model", []string{"-model", "hypercube"}},
+		{"too many edges", []string{"-model", "gnm", "-vertices", "5", "-edges", "100"}},
+		{"bad gnp probability", []string{"-model", "gnp", "-vertices", "10", "-p", "3"}},
+		{"unwritable output", []string{"-model", "path", "-vertices", "5", "-out", "/nonexistent-dir/x/y.txt"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-model", "gnm", "-vertices", "60", "-edges", "120", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "gnm", "-vertices", "60", "-edges", "120", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), "# nodes 60") || a.String() != b.String() {
+		t.Fatal("same seed produced different graphs")
+	}
+}

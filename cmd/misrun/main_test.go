@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+// writeTestGraph writes a random G(n,m) graph to a temp file and returns its
+// path.
+func writeTestGraph(t *testing.T, n int, m int64) string {
+	t.Helper()
+	g, err := graph.GNM(n, m, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllModes(t *testing.T) {
+	path := writeTestGraph(t, 800, 4000)
+	for _, mode := range []string{"sequential", "relaxed", "concurrent", "exact"} {
+		var out bytes.Buffer
+		err := run([]string{"-in", path, "-mode", mode, "-threads", "2", "-k", "8", "-seed", "3"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "MIS size:") || !strings.Contains(got, "mode: "+mode) {
+			t.Fatalf("%s: unexpected output:\n%s", mode, got)
+		}
+	}
+}
+
+func TestRunModesAgreeOnSize(t *testing.T) {
+	// All modes compute the greedy MIS for the same seed/permutation, so the
+	// reported sizes must be identical.
+	path := writeTestGraph(t, 500, 2500)
+	var sizes []string
+	for _, mode := range []string{"sequential", "relaxed", "concurrent", "exact"} {
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-mode", mode, "-threads", "2", "-seed", "11"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		line := out.String()
+		idx := strings.Index(line, "MIS size:")
+		if idx < 0 {
+			t.Fatalf("no MIS size in output: %s", line)
+		}
+		fields := strings.Fields(line[idx:])
+		sizes = append(sizes, fields[2])
+	}
+	for _, s := range sizes[1:] {
+		if s != sizes[0] {
+			t.Fatalf("modes disagree on MIS size: %v", sizes)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t, 50, 100)
+	badPath := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(badPath, []byte("not an edge list\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"missing input", []string{"-mode", "sequential"}},
+		{"nonexistent file", []string{"-in", "/does/not/exist"}},
+		{"malformed file", []string{"-in", badPath}},
+		{"unknown mode", []string{"-in", path, "-mode", "quantum"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}

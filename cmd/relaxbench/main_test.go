@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCustomGraph(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-vertices", "2000", "-edges", "10000", "-threads", "1,2", "-trials", "1", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"custom", "relaxed-multiqueue", "exact-faa", "sequential", "best speedup"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunNamedClassScaledByThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full class benchmark is slow")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-class", "smalldense", "-threads", "1", "-trials", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "smalldense") {
+		t.Fatalf("output missing class name:\n%s", out.String())
+	}
+}
+
+func TestRunAlternativeAlgorithms(t *testing.T) {
+	for _, algo := range []string{"coloring", "matching"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-algo", algo, "-vertices", "800", "-edges", "3000", "-threads", "1", "-trials", "1",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "best speedup") {
+			t.Fatalf("%s: missing summary line", algo)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "nope", "-vertices", "100", "-edges", "200", "-threads", "1", "-trials", "1"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"unknown class", []string{"-class", "galactic"}},
+		{"bad threads", []string{"-threads", "1,zero", "-vertices", "100", "-edges", "200"}},
+		{"negative threads", []string{"-threads", "-2", "-vertices", "100", "-edges", "200"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1, 2, 8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Fatalf("parseThreads = %v, %v", got, err)
+	}
+	got, err = parseThreads("")
+	if err != nil || got != nil {
+		t.Fatalf("empty input should yield nil, got %v, %v", got, err)
+	}
+	if _, err := parseThreads("0"); err == nil {
+		t.Fatal("zero thread count accepted")
+	}
+}

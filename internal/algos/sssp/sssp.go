@@ -1,0 +1,313 @@
+// Package sssp implements single-source shortest paths with priority
+// schedulers: exact sequential Dijkstra, a relaxed sequential-model variant,
+// and a concurrent variant driven by a relaxed scheduler.
+//
+// SSSP is the classic motivating example for relaxed priority scheduling
+// (the paper cites it as the standard application of SprayLists and
+// MultiQueues) but it does not fit the deterministic framework of package
+// core: task priorities are tentative distances, which change during the
+// execution, so the required priority permutation cannot be drawn uniformly
+// at random up front. Correctness is instead preserved because distance
+// labels only ever decrease and every improvement re-inserts the vertex; the
+// cost of relaxation shows up as wasted (stale) queue pops rather than as
+// failed deletes. This package therefore lives beside the framework as the
+// non-deterministic counterpart that the paper contrasts against.
+package sssp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/sched"
+)
+
+// Unreachable is the distance label of vertices not reachable from the
+// source.
+const Unreachable = uint32(math.MaxUint32)
+
+// Stats counts the work performed by a shortest-path execution.
+type Stats struct {
+	// Pops is the number of items removed from the scheduler.
+	Pops int64
+	// StalePops is the number of removed items whose distance was already
+	// outdated (the relaxed analogue of a wasted iteration).
+	StalePops int64
+	// Relaxations is the number of edge relaxations that improved a
+	// distance.
+	Relaxations int64
+}
+
+// Dijkstra computes exact shortest-path distances from src using a binary
+// heap. It is the correctness oracle and sequential baseline.
+func Dijkstra(g *graph.Graph, w *graph.Weights, src int) ([]uint32, error) {
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+	}
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	h := &distHeap{}
+	h.push(distEntry{v: int32(src), d: 0})
+	for h.len() > 0 {
+		e := h.pop()
+		if e.d > dist[e.v] {
+			continue
+		}
+		base := g.AdjOffset(int(e.v))
+		for i, u := range g.Neighbors(int(e.v)) {
+			nd := e.d + w.At(base+int64(i))
+			if nd < dist[u] {
+				dist[u] = nd
+				h.push(distEntry{v: u, d: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// RunRelaxed computes shortest-path distances using a (possibly relaxed)
+// sequential-model scheduler. The result is always exact; relaxation only
+// costs extra work, reported in Stats.
+func RunRelaxed(g *graph.Graph, w *graph.Weights, src int, s sched.Scheduler) ([]uint32, Stats, error) {
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, Stats{}, fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+	}
+	if s == nil {
+		return nil, Stats{}, fmt.Errorf("sssp: scheduler must not be nil")
+	}
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	s.Insert(sched.Item{Task: int32(src), Priority: 0})
+
+	var st Stats
+	for {
+		it, ok := s.ApproxGetMin()
+		if !ok {
+			break
+		}
+		st.Pops++
+		v := int(it.Task)
+		if it.Priority > dist[v] {
+			st.StalePops++
+			continue
+		}
+		d := dist[v]
+		base := g.AdjOffset(v)
+		for i, u := range g.Neighbors(v) {
+			nd := d + w.At(base+int64(i))
+			if nd < dist[u] {
+				dist[u] = nd
+				st.Relaxations++
+				s.Insert(sched.Item{Task: u, Priority: nd})
+			}
+		}
+	}
+	return dist, st, nil
+}
+
+// RunConcurrent computes shortest-path distances with worker goroutines
+// sharing a concurrent scheduler. Distance updates use compare-and-swap
+// minimum, so the result is exact regardless of scheduling; relaxed
+// schedulers only add stale pops.
+func RunConcurrent(g *graph.Graph, w *graph.Weights, src int, s sched.Concurrent, workers int) ([]uint32, Stats, error) {
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, Stats{}, fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+	}
+	if s == nil {
+		return nil, Stats{}, fmt.Errorf("sssp: scheduler must not be nil")
+	}
+	if workers < 1 {
+		return nil, Stats{}, fmt.Errorf("sssp: worker count must be at least 1, got %d", workers)
+	}
+	dist := make([]atomic.Uint32, n)
+	for i := range dist {
+		dist[i].Store(Unreachable)
+	}
+	dist[src].Store(0)
+
+	// pending counts items that are in the scheduler or currently being
+	// expanded; the execution is complete when it reaches zero.
+	var pending atomic.Int64
+	pending.Add(1)
+	s.Insert(sched.Item{Task: int32(src), Priority: 0})
+
+	stats := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			st := &stats[wk]
+			idle := 0
+			for {
+				if pending.Load() == 0 {
+					return
+				}
+				it, ok := s.ApproxGetMin()
+				if !ok {
+					idle++
+					if idle > 32 {
+						runtime.Gosched()
+					}
+					continue
+				}
+				idle = 0
+				st.Pops++
+				v := int(it.Task)
+				if it.Priority > dist[v].Load() {
+					st.StalePops++
+					pending.Add(-1)
+					continue
+				}
+				d := dist[v].Load()
+				base := g.AdjOffset(v)
+				for i, u := range g.Neighbors(v) {
+					nd := d + w.At(base+int64(i))
+					for {
+						cur := dist[u].Load()
+						if nd >= cur {
+							break
+						}
+						if dist[u].CompareAndSwap(cur, nd) {
+							st.Relaxations++
+							pending.Add(1)
+							s.Insert(sched.Item{Task: u, Priority: nd})
+							break
+						}
+					}
+				}
+				pending.Add(-1)
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = dist[i].Load()
+	}
+	var total Stats
+	for _, st := range stats {
+		total.Pops += st.Pops
+		total.StalePops += st.StalePops
+		total.Relaxations += st.Relaxations
+	}
+	return out, total, nil
+}
+
+// Verify checks that dist is the exact shortest-path distance vector from
+// src: the source has distance 0, every edge satisfies the triangle
+// inequality, every finite-distance vertex other than the source has a tight
+// incoming edge, and unreachable vertices have no reachable neighbor.
+func Verify(g *graph.Graph, w *graph.Weights, src int, dist []uint32) error {
+	n := g.NumVertices()
+	if len(dist) != n {
+		return fmt.Errorf("sssp: %d distances for %d vertices", len(dist), n)
+	}
+	if src < 0 || src >= n {
+		return fmt.Errorf("sssp: source %d out of range", src)
+	}
+	if dist[src] != 0 {
+		return fmt.Errorf("sssp: source distance is %d, want 0", dist[src])
+	}
+	for v := 0; v < n; v++ {
+		base := g.AdjOffset(v)
+		if dist[v] == Unreachable {
+			for _, u := range g.Neighbors(v) {
+				if dist[u] != Unreachable {
+					return fmt.Errorf("sssp: vertex %d is unreachable but neighbor %d has distance %d", v, u, dist[u])
+				}
+			}
+			continue
+		}
+		tight := v == src
+		for i, u := range g.Neighbors(v) {
+			wt := w.At(base + int64(i))
+			if dist[u] != Unreachable && dist[u]+wt < dist[v] {
+				return fmt.Errorf("sssp: edge (%d,%d) violates optimality: %d + %d < %d", u, v, dist[u], wt, dist[v])
+			}
+			if dist[u] != Unreachable && dist[u]+wt == dist[v] {
+				tight = true
+			}
+		}
+		if !tight {
+			return fmt.Errorf("sssp: vertex %d has distance %d but no tight incoming edge", v, dist[v])
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two distance vectors are identical.
+func Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// distEntry and distHeap form a small dedicated binary heap for Dijkstra, so
+// the sequential baseline does not depend on the scheduler packages.
+type distEntry struct {
+	v int32
+	d uint32
+}
+
+type distHeap struct {
+	entries []distEntry
+}
+
+func (h *distHeap) len() int { return len(h.entries) }
+
+func (h *distHeap) push(e distEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].d <= h.entries[i].d {
+			break
+		}
+		h.entries[parent], h.entries[i] = h.entries[i], h.entries[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distEntry {
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(h.entries) {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < len(h.entries) && h.entries[right].d < h.entries[left].d {
+			smallest = right
+		}
+		if h.entries[i].d <= h.entries[smallest].d {
+			break
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestDefaultClasses(t *testing.T) {
+	classes := DefaultClasses()
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(classes))
+	}
+	var sparse, smallDense Class
+	for _, c := range classes {
+		switch c.Name {
+		case "sparse":
+			sparse = c
+		case "smalldense":
+			smallDense = c
+		}
+		if c.Vertices <= 0 || c.Edges <= 0 {
+			t.Fatalf("class %s has non-positive size", c.Name)
+		}
+	}
+	if sparse.AverageDegree() >= smallDense.AverageDegree() {
+		t.Fatalf("sparse class (deg %.1f) should be sparser than smalldense (deg %.1f)",
+			sparse.AverageDegree(), smallDense.AverageDegree())
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	c, err := ClassByName("sparse")
+	if err != nil || c.Name != "sparse" {
+		t.Fatalf("ClassByName(sparse) = %v, %v", c, err)
+	}
+	if _, err := ClassByName("nope"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestDefaultThreadSweep(t *testing.T) {
+	threads := DefaultThreadSweep()
+	if len(threads) == 0 || threads[0] != 1 {
+		t.Fatalf("sweep %v should start at 1", threads)
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	if threads[len(threads)-1] != maxProcs {
+		t.Fatalf("sweep %v should end at GOMAXPROCS=%d", threads, maxProcs)
+	}
+	for i := 1; i < len(threads); i++ {
+		if threads[i] <= threads[i-1] {
+			t.Fatalf("sweep %v not strictly increasing", threads)
+		}
+	}
+}
+
+func TestRunSmallPanelVerified(t *testing.T) {
+	// A miniature panel: small graph, verification on, 1-2 threads. This
+	// exercises the full harness (generation, sequential baseline, relaxed
+	// and exact parallel runs, determinism check).
+	cfg := Config{
+		Class:   Class{Name: "tiny", Vertices: 3000, Edges: 15000},
+		Threads: []int{1, 2},
+		Trials:  1,
+		Seed:    42,
+		Verify:  true,
+	}
+	report, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sequential.Time.Mean <= 0 {
+		t.Fatal("sequential baseline has no time")
+	}
+	if len(report.Measurements) != 4 {
+		t.Fatalf("got %d measurements, want 4 (2 schedulers x 2 thread counts)", len(report.Measurements))
+	}
+	for _, m := range report.Measurements {
+		if m.Time.Mean <= 0 {
+			t.Fatalf("measurement %s/%d has non-positive time", m.Scheduler, m.Threads)
+		}
+		if m.Speedup <= 0 {
+			t.Fatalf("measurement %s/%d has non-positive speedup", m.Scheduler, m.Threads)
+		}
+	}
+	out := report.Format()
+	for _, want := range []string{"tiny", SchedulerRelaxed, SchedulerExact, SchedulerSequential, "threads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+	if report.BestSpeedup(SchedulerRelaxed) <= 0 {
+		t.Fatal("BestSpeedup returned 0 for relaxed scheduler")
+	}
+	if report.BestSpeedup("nonexistent") != 0 {
+		t.Fatal("BestSpeedup for unknown scheduler should be 0")
+	}
+}
+
+func TestRunColoringAndMatchingPanels(t *testing.T) {
+	// The extension beyond the paper's Figure 2: the same harness drives the
+	// other framework algorithms. Tiny inputs, verification on.
+	for _, alg := range []Algorithm{AlgorithmColoring, AlgorithmMatching} {
+		cfg := Config{
+			Class:     Class{Name: "tiny", Vertices: 1200, Edges: 6000},
+			Algorithm: alg,
+			Threads:   []int{1, 2},
+			Trials:    1,
+			Seed:      9,
+			Verify:    true,
+		}
+		report, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(report.Measurements) != 4 {
+			t.Fatalf("%s: got %d measurements, want 4", alg, len(report.Measurements))
+		}
+		for _, m := range report.Measurements {
+			if m.Time.Mean <= 0 || m.Speedup <= 0 {
+				t.Fatalf("%s: bad measurement %+v", alg, m)
+			}
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	cfg := Config{
+		Class:     Class{Name: "tiny", Vertices: 100, Edges: 200},
+		Algorithm: "sorting",
+		Threads:   []int{1},
+		Trials:    1,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	if hashBools([]bool{true, false}) == hashBools([]bool{false, true}) {
+		t.Fatal("hashBools is order-insensitive")
+	}
+	if hashInt32s([]int32{1, 2}) == hashInt32s([]int32{2, 1}) {
+		t.Fatal("hashInt32s is order-insensitive")
+	}
+	if hashBools(nil) != hashBools([]bool{}) {
+		t.Fatal("empty hashes differ")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := Config{
+		Class:   Class{Name: "tiny", Vertices: 100, Edges: 200},
+		Threads: []int{0},
+		Trials:  1,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero thread count accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Class: Class{Name: "x", Vertices: 10, Edges: 5}}.withDefaults()
+	if cfg.Trials != 3 || cfg.QueueFactor <= 0 || len(cfg.Threads) == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}

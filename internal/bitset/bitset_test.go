@@ -1,0 +1,220 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestSetBasicOperations(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("new set has count %d, want 0", s.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count after Clear = %d, want 7", s.Count())
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 100; i += 3 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", s.Count())
+	}
+}
+
+func TestSetCloneAndEqual(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 7 {
+		s.Set(i)
+	}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(1)
+	if s.Equal(c) {
+		t.Fatal("sets equal after modifying clone")
+	}
+	other := New(100)
+	if s.Equal(other) {
+		t.Fatal("sets of different sizes reported equal")
+	}
+}
+
+func TestSetOutOfRangePanics(t *testing.T) {
+	cases := []func(*Set){
+		func(s *Set) { s.Set(-1) },
+		func(s *Set) { s.Set(10) },
+		func(s *Set) { s.Get(10) },
+		func(s *Set) { s.Clear(-5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic on out-of-range access", i)
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestSetZeroAndNegativeSize(t *testing.T) {
+	if s := New(0); s.Count() != 0 || s.Len() != 0 {
+		t.Fatal("empty set misbehaves")
+	}
+	if s := New(-5); s.Len() != 0 {
+		t.Fatal("negative size not clamped to 0")
+	}
+}
+
+func TestSetMatchesMapModel(t *testing.T) {
+	// Property test: a sequence of random Set/Clear operations matches a map
+	// model.
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 257
+		s := New(n)
+		model := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			i := r.Intn(n)
+			switch r.Intn(3) {
+			case 0:
+				s.Set(i)
+				model[i] = true
+			case 1:
+				s.Clear(i)
+				delete(model, i)
+			case 2:
+				if s.Get(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicSetReturnsTrueExactlyOnce(t *testing.T) {
+	a := NewAtomic(64)
+	if !a.Set(10) {
+		t.Fatal("first Set(10) returned false")
+	}
+	if a.Set(10) {
+		t.Fatal("second Set(10) returned true")
+	}
+	if !a.Get(10) {
+		t.Fatal("Get(10) false after Set")
+	}
+}
+
+func TestAtomicConcurrentClaim(t *testing.T) {
+	// Many goroutines race to claim each bit; exactly one should win per bit.
+	const n = 4096
+	const workers = 8
+	a := NewAtomic(n)
+	wins := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if a.Set(i) {
+					wins[id]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != n {
+		t.Fatalf("total successful claims = %d, want %d", total, n)
+	}
+	if a.Count() != n {
+		t.Fatalf("Count = %d, want %d", a.Count(), n)
+	}
+}
+
+func TestAtomicSnapshotAndReset(t *testing.T) {
+	a := NewAtomic(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i)
+	}
+	s := a.Snapshot()
+	if s.Count() != 50 {
+		t.Fatalf("snapshot count = %d, want 50", s.Count())
+	}
+	for i := 0; i < 100; i++ {
+		if s.Get(i) != (i%2 == 0) {
+			t.Fatalf("snapshot bit %d = %v", i, s.Get(i))
+		}
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatalf("count after reset = %d", a.Count())
+	}
+}
+
+func TestAtomicOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAtomic(10).Get(11)
+}
+
+func BenchmarkSetSet(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkAtomicSet(b *testing.B) {
+	a := NewAtomic(1 << 20)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a.Set(i & (1<<20 - 1))
+			i++
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"relaxsched/internal/sched"
+)
+
+// ConcurrentOptions configures RunConcurrent.
+type ConcurrentOptions struct {
+	// Workers is the number of goroutines processing tasks. It must be at
+	// least 1.
+	Workers int
+	// BlockedPolicy selects what a worker does with a task that is delivered
+	// while blocked: Reinsert (default, the relaxed framework of Algorithm 2)
+	// or Wait (the backoff scheme the paper uses with its exact scheduler).
+	BlockedPolicy Policy
+}
+
+// WorkerResult reports per-worker counters from a concurrent execution.
+type WorkerResult struct {
+	Processed     int64
+	DeadSkips     int64
+	FailedDeletes int64
+	Waits         int64
+	EmptyPolls    int64
+}
+
+// ConcurrentResult extends Result with per-worker detail.
+type ConcurrentResult struct {
+	Result
+	Workers []WorkerResult
+}
+
+// RunConcurrent executes the problem with worker goroutines sharing a
+// concurrent scheduler, as in the paper's Figure 2 experiments. The problem
+// instance must be safe for concurrent calls on distinct tasks (all the
+// algos packages in this library are). The output is identical to
+// RunSequential with the same labels.
+//
+// Termination is tracked with an outstanding-task counter rather than
+// scheduler emptiness, because a concurrent scheduler may transiently report
+// empty while another worker holds the last tasks.
+func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts ConcurrentOptions) (ConcurrentResult, error) {
+	n := p.NumTasks()
+	if err := validateLabels(n, labels); err != nil {
+		return ConcurrentResult{}, err
+	}
+	if s == nil {
+		return ConcurrentResult{}, ErrNilScheduler
+	}
+	if opts.Workers < 1 {
+		return ConcurrentResult{}, fmt.Errorf("%w: got %d", ErrNoWorkers, opts.Workers)
+	}
+	policy := opts.BlockedPolicy
+	if policy == 0 {
+		policy = Reinsert
+	}
+
+	st := newConcState(labels)
+	inst := p.NewInstance(st)
+
+	// Load every task in priority order so an exact FIFO scheduler dispenses
+	// them exactly as Algorithm 1 would.
+	for _, task := range TasksByLabel(labels) {
+		s.Insert(sched.Item{Task: task, Priority: labels[task]})
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+
+	workers := make([]WorkerResult, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(inst, st, s, policy, &remaining, &workers[w])
+		}(w)
+	}
+	wg.Wait()
+
+	if remaining.Load() != 0 {
+		return ConcurrentResult{}, fmt.Errorf("%w: %d tasks unresolved", ErrStuck, remaining.Load())
+	}
+
+	res := ConcurrentResult{Workers: workers}
+	res.Instance = inst
+	for _, wr := range workers {
+		res.Processed += wr.Processed
+		res.DeadSkips += wr.DeadSkips
+		res.FailedDeletes += wr.FailedDeletes
+		res.Waits += wr.Waits
+		res.EmptyPolls += wr.EmptyPolls
+	}
+	res.Iterations = res.Processed + res.DeadSkips + res.FailedDeletes
+	return res, nil
+}
+
+func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, remaining *atomic.Int64, wr *WorkerResult) {
+	idleSpins := 0
+	for {
+		if remaining.Load() == 0 {
+			return
+		}
+		it, ok := s.ApproxGetMin()
+		if !ok {
+			wr.EmptyPolls++
+			idleSpins++
+			if idleSpins > 32 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idleSpins = 0
+		v := int(it.Task)
+
+		if inst.Dead(v) {
+			wr.DeadSkips++
+			remaining.Add(-1)
+			continue
+		}
+		if inst.Blocked(v) {
+			released := false
+			if policy == Wait {
+				wr.Waits++
+				released = spinUntilUnblocked(inst, v)
+			}
+			if !released {
+				wr.FailedDeletes++
+				s.Insert(it)
+				continue
+			}
+		}
+		// The task may have been killed while it was blocked (an MIS
+		// neighbor of higher priority joined the independent set); the
+		// re-check keeps the output identical to the sequential execution.
+		if inst.Dead(v) {
+			wr.DeadSkips++
+			remaining.Add(-1)
+			continue
+		}
+		inst.Process(v)
+		st.markProcessed(v)
+		wr.Processed++
+		remaining.Add(-1)
+	}
+}
+
+// spinUntilUnblocked waits for v's blocking dependencies to resolve and
+// reports whether they did. The wait is bounded: if the dependencies do not
+// resolve within the budget (for example because this is the only worker and
+// the predecessor is still sitting in the scheduler), the caller falls back
+// to re-inserting the task so the execution always makes progress.
+func spinUntilUnblocked(inst Instance, v int) bool {
+	const maxSpins = 1 << 14
+	for spin := 0; spin < maxSpins; spin++ {
+		if inst.Dead(v) || !inst.Blocked(v) {
+			return true
+		}
+		if spin > 16 {
+			runtime.Gosched()
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"relaxsched/internal/sched"
+)
+
+// RunRelaxed executes the problem with a (possibly relaxed) sequential-model
+// scheduler, following Algorithm 2 — and, when the problem implements the
+// Dead shortcut, Algorithm 4. Tasks delivered while blocked are re-inserted
+// and counted as failed deletes; dead tasks are discarded. The output is
+// identical to RunSequential with the same labels, no matter how relaxed the
+// scheduler is.
+func RunRelaxed(p Problem, labels []uint32, s sched.Scheduler) (Result, error) {
+	n := p.NumTasks()
+	if err := validateLabels(n, labels); err != nil {
+		return Result{}, err
+	}
+	if s == nil {
+		return Result{}, ErrNilScheduler
+	}
+	st := newSeqState(labels)
+	inst := p.NewInstance(st)
+
+	// Load every task, in priority order so that exact FIFO schedulers also
+	// behave correctly (heap-based schedulers are insensitive to the order).
+	for _, task := range TasksByLabel(labels) {
+		s.Insert(sched.Item{Task: task, Priority: labels[task]})
+	}
+
+	var res Result
+	res.Instance = inst
+	remaining := int64(n)
+	for remaining > 0 {
+		it, ok := s.ApproxGetMin()
+		if !ok {
+			return res, fmt.Errorf("%w: %d tasks unresolved", ErrStuck, remaining)
+		}
+		v := int(it.Task)
+		res.Iterations++
+		if inst.Dead(v) {
+			res.DeadSkips++
+			remaining--
+			continue
+		}
+		if inst.Blocked(v) {
+			res.FailedDeletes++
+			s.Insert(it)
+			continue
+		}
+		inst.Process(v)
+		st.markProcessed(v)
+		res.Processed++
+		remaining--
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a simple text format: a header line
+// "# nodes <n> edges <m>" followed by one "u v" pair per undirected edge
+// (u < v). The format round-trips through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	buf := make([]byte, 0, 32)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int32(v) >= u {
+				continue
+			}
+			buf = buf[:0]
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(u), 10)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return fmt.Errorf("graph: writing edge: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing edge list: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' other than the header are treated as comments; blank lines are
+// ignored. If no header is present, the vertex count is inferred as one plus
+// the largest endpoint seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []Edge
+	maxVertex := -1
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var hn int
+			var hm int64
+			if _, err := fmt.Sscanf(line, "# nodes %d edges %d", &hn, &hm); err == nil {
+				n = hn
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		if u > maxVertex {
+			maxVertex = u
+		}
+		if v > maxVertex {
+			maxVertex = v
+		}
+		edges = append(edges, Edge{U: int32(u), V: int32(v)})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	if n < 0 {
+		n = maxVertex + 1
+	}
+	if maxVertex >= n {
+		return nil, fmt.Errorf("graph: vertex %d exceeds declared node count %d", maxVertex, n)
+	}
+	g := FromEdges(n, edges)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: parsed graph invalid: %w", err)
+	}
+	return g, nil
+}

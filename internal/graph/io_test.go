@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	r := rng.New(9)
+	g, err := GNM(100, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %v -> %v", g, g2)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	in := "0 1\n1 2\n\n# a comment\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("parsed n=%d m=%d, want 4/3", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListIsolatedTrailingVertices(t *testing.T) {
+	// Header declares more vertices than appear in edges; they must survive.
+	in := "# nodes 10 edges 1\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 || g.NumEdges() != 1 {
+		t.Fatalf("parsed n=%d m=%d, want 10/1", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"malformed line", "0 1 2\n"},
+		{"non-numeric", "a b\n"},
+		{"negative", "0 -1\n"},
+		{"exceeds header", "# nodes 2 edges 1\n0 5\n"},
+		{"single field", "7\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("input %q parsed without error", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadEdgeListEmptyInput(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty input parsed as n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}

@@ -1,0 +1,29 @@
+package graph
+
+// LineGraph returns the line graph L(g) of g: one vertex per undirected edge
+// of g, with two line-graph vertices adjacent whenever the corresponding
+// edges of g share an endpoint. It also returns the edge list of g indexed by
+// line-graph vertex id, so callers can translate an independent set of L(g)
+// back into a matching of g.
+//
+// This is exactly the reduction the paper uses to solve maximal matching with
+// the MIS algorithm: "one can view matching as an independent set of edges,
+// no two of which are incident to the same vertex."
+func LineGraph(g *Graph) (*Graph, []Edge) {
+	edges := g.Edges()
+	// edgeIDs[i] lists the ids of edges incident to vertex i.
+	edgeIDs := make([][]int32, g.NumVertices())
+	for id, e := range edges {
+		edgeIDs[e.U] = append(edgeIDs[e.U], int32(id))
+		edgeIDs[e.V] = append(edgeIDs[e.V], int32(id))
+	}
+	var lineEdges []Edge
+	for _, ids := range edgeIDs {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				lineEdges = append(lineEdges, Edge{U: ids[i], V: ids[j]})
+			}
+		}
+	}
+	return FromEdges(len(edges), lineEdges), edges
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+func TestLineGraphTriangle(t *testing.T) {
+	// The line graph of a triangle is again a triangle.
+	g := Complete(3)
+	lg, edges := LineGraph(g)
+	if lg.NumVertices() != 3 {
+		t.Fatalf("line graph vertices = %d, want 3", lg.NumVertices())
+	}
+	if lg.NumEdges() != 3 {
+		t.Fatalf("line graph edges = %d, want 3", lg.NumEdges())
+	}
+	if len(edges) != 3 {
+		t.Fatalf("edge index length = %d, want 3", len(edges))
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineGraphPath(t *testing.T) {
+	// The line graph of a path on n vertices is a path on n-1 vertices.
+	g := Path(6)
+	lg, _ := LineGraph(g)
+	if lg.NumVertices() != 5 {
+		t.Fatalf("line graph vertices = %d, want 5", lg.NumVertices())
+	}
+	if lg.NumEdges() != 4 {
+		t.Fatalf("line graph edges = %d, want 4", lg.NumEdges())
+	}
+}
+
+func TestLineGraphStar(t *testing.T) {
+	// The line graph of a star K_{1,n} is the complete graph K_n.
+	g := Star(6) // 5 leaves
+	lg, _ := LineGraph(g)
+	if lg.NumVertices() != 5 {
+		t.Fatalf("line graph vertices = %d, want 5", lg.NumVertices())
+	}
+	if lg.NumEdges() != 10 {
+		t.Fatalf("line graph edges = %d, want 10 (K_5)", lg.NumEdges())
+	}
+}
+
+func TestLineGraphEdgeCountFormula(t *testing.T) {
+	// |E(L(G))| = sum_v deg(v)*(deg(v)-1)/2.
+	r := rng.New(21)
+	g, err := GNM(60, 300, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, edges := LineGraph(g)
+	if int64(len(edges)) != g.NumEdges() {
+		t.Fatalf("edge index has %d entries, want %d", len(edges), g.NumEdges())
+	}
+	var want int64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := int64(g.Degree(v))
+		want += d * (d - 1) / 2
+	}
+	if lg.NumEdges() != want {
+		t.Fatalf("line graph edges = %d, want %d", lg.NumEdges(), want)
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Adjacency in the line graph must correspond to incident edges in g.
+	for lv := 0; lv < lg.NumVertices(); lv++ {
+		for _, lu := range lg.Neighbors(lv) {
+			a, b := edges[lv], edges[lu]
+			if a.U != b.U && a.U != b.V && a.V != b.U && a.V != b.V {
+				t.Fatalf("line graph edge (%d,%d) corresponds to non-incident edges %v %v", lv, lu, a, b)
+			}
+		}
+	}
+}
+
+func TestLineGraphEmptyAndEdgeless(t *testing.T) {
+	lg, edges := LineGraph(FromEdges(5, nil))
+	if lg.NumVertices() != 0 || len(edges) != 0 {
+		t.Fatal("line graph of edgeless graph should be empty")
+	}
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+
+	"relaxsched/internal/rng"
+)
+
+// BarabasiAlbert generates a preferential-attachment graph: starting from a
+// small clique of m0 = attach vertices, every new vertex attaches to `attach`
+// distinct existing vertices chosen with probability proportional to their
+// current degree. The result has the heavy-tailed degree distribution typical
+// of web and social graphs, which is a useful stress input for the MIS and
+// coloring workloads (a few very high-degree hubs create many dependencies).
+func BarabasiAlbert(n, attach int, r *rng.Rand) (*Graph, error) {
+	if attach < 1 {
+		return nil, fmt.Errorf("graph: attachment count must be at least 1, got %d", attach)
+	}
+	if n < attach+1 {
+		return nil, fmt.Errorf("graph: need at least %d vertices for attachment count %d, got %d", attach+1, attach, n)
+	}
+	edges := make([]Edge, 0, n*attach)
+	// repeated holds every edge endpoint once per incidence, so sampling a
+	// uniform element of it is sampling a vertex proportionally to degree.
+	repeated := make([]int32, 0, 2*n*attach)
+
+	// Seed graph: a clique on the first attach+1 vertices.
+	for u := 0; u <= attach; u++ {
+		for v := u + 1; v <= attach; v++ {
+			edges = append(edges, Edge{U: int32(u), V: int32(v)})
+			repeated = append(repeated, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]bool, attach)
+	for v := attach + 1; v < n; v++ {
+		for key := range chosen {
+			delete(chosen, key)
+		}
+		for len(chosen) < attach {
+			var target int32
+			// With probability proportional to degree; fall back to uniform
+			// if the repeated list is somehow empty (cannot happen after the
+			// seed clique, but keeps the loop total).
+			if len(repeated) > 0 {
+				target = repeated[r.Intn(len(repeated))]
+			} else {
+				target = int32(r.Intn(v))
+			}
+			if int(target) == v || chosen[target] {
+				continue
+			}
+			chosen[target] = true
+		}
+		for target := range chosen {
+			edges = append(edges, Edge{U: int32(v), V: target})
+			repeated = append(repeated, int32(v), target)
+		}
+	}
+	return FromEdges(n, edges), nil
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// vertex is connected to its k nearest neighbors (k must be even), with each
+// lattice edge rewired to a uniformly random endpoint with probability beta.
+// Rewired edges that would create self-loops or duplicates are kept in place,
+// matching the usual formulation. Small-world graphs combine high clustering
+// with short paths and are a standard "road-network-plus-shortcuts" workload
+// for the SSSP example.
+func WattsStrogatz(n, k int, beta float64, r *rng.Rand) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("graph: lattice degree must be a positive even number, got %d", k)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("graph: lattice degree %d must be smaller than vertex count %d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: rewiring probability %v out of [0,1]", beta)
+	}
+	type pair struct{ u, v int32 }
+	present := make(map[pair]bool, n*k/2)
+	has := func(u, v int32) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return present[pair{u, v}]
+	}
+	add := func(u, v int32) {
+		if u > v {
+			u, v = v, u
+		}
+		present[pair{u, v}] = true
+	}
+
+	// Ring lattice.
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			add(int32(u), int32(v))
+		}
+	}
+	// Rewire each lattice edge (u, u+j) with probability beta.
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := int32((u + j) % n)
+			if r.Float64() >= beta {
+				continue
+			}
+			// Pick a new endpoint; keep the original edge if no valid
+			// endpoint is found quickly (dense corner cases).
+			for attempt := 0; attempt < 16; attempt++ {
+				w := int32(r.Intn(n))
+				if int(w) == u || has(int32(u), w) {
+					continue
+				}
+				delete(present, pair{min32(int32(u), v), max32(int32(u), v)})
+				add(int32(u), w)
+				break
+			}
+		}
+	}
+	edges := make([]Edge, 0, len(present))
+	for p := range present {
+		edges = append(edges, Edge{U: p.u, V: p.v})
+	}
+	return FromEdges(n, edges), nil
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	r := rng.New(5)
+	const n = 2000
+	const attach = 3
+	g, err := BarabasiAlbert(n, attach, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), n)
+	}
+	// Seed clique has attach*(attach+1)/2 edges; every later vertex adds
+	// exactly attach edges (duplicates impossible since targets are distinct
+	// per new vertex).
+	wantEdges := int64(attach*(attach+1)/2 + (n-attach-1)*attach)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Every vertex must have degree at least attach (newcomers add attach
+	// edges; seed vertices are in the clique and attract attachments).
+	for v := 0; v < n; v++ {
+		if g.Degree(v) < attach {
+			t.Fatalf("vertex %d has degree %d < %d", v, g.Degree(v), attach)
+		}
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	r := rng.New(11)
+	const n = 5000
+	g, err := BarabasiAlbert(n, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrees := make([]int, n)
+	for v := 0; v < n; v++ {
+		degrees[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degrees)))
+	// Preferential attachment produces hubs: the largest degree should be
+	// many times the average degree (4 here). A uniform random graph with
+	// the same density would have max degree ~15.
+	if degrees[0] < 30 {
+		t.Fatalf("max degree %d too small for preferential attachment", degrees[0])
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := BarabasiAlbert(10, 0, r); err == nil {
+		t.Fatal("attach=0 accepted")
+	}
+	if _, err := BarabasiAlbert(3, 3, r); err == nil {
+		t.Fatal("n <= attach accepted")
+	}
+}
+
+func TestWattsStrogatzNoRewiring(t *testing.T) {
+	r := rng.New(2)
+	const n = 100
+	const k = 6
+	g, err := WattsStrogatz(n, k, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != int64(n*k/2) {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), n*k/2)
+	}
+	// With beta = 0 the graph is the exact ring lattice: every vertex has
+	// degree k.
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != k {
+			t.Fatalf("vertex %d has degree %d, want %d", v, g.Degree(v), k)
+		}
+	}
+}
+
+func TestWattsStrogatzRewiringKeepsEdgeCount(t *testing.T) {
+	r := rng.New(3)
+	const n = 500
+	const k = 8
+	g, err := WattsStrogatz(n, k, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewiring replaces edges one-for-one (keeping the original when no
+	// valid target is found), so the count never exceeds the lattice count
+	// and only rarely drops below it.
+	if g.NumEdges() > int64(n*k/2) {
+		t.Fatalf("m = %d exceeds lattice edge count %d", g.NumEdges(), n*k/2)
+	}
+	if g.NumEdges() < int64(n*k/2)*95/100 {
+		t.Fatalf("m = %d lost more than 5%% of lattice edges", g.NumEdges())
+	}
+	// Full rewiring must still produce a valid graph.
+	g2, err := WattsStrogatz(200, 4, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	r := rng.New(4)
+	cases := []struct {
+		n    int
+		k    int
+		beta float64
+	}{
+		{10, 3, 0.1},  // odd k
+		{10, 0, 0.1},  // zero k
+		{10, 10, 0.1}, // k >= n
+		{10, 4, -0.5}, // bad beta
+		{10, 4, 1.5},  // bad beta
+	}
+	for _, tc := range cases {
+		if _, err := WattsStrogatz(tc.n, tc.k, tc.beta, r); err == nil {
+			t.Fatalf("WattsStrogatz(%d,%d,%v) accepted", tc.n, tc.k, tc.beta)
+		}
+	}
+}

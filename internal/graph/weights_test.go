@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+func TestRandomWeightsSymmetricAndInRange(t *testing.T) {
+	r := rng.New(13)
+	g, err := GNM(80, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxW = 100
+	ws, err := RandomWeights(g, maxW, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Len() != g.NumAdjEntries() {
+		t.Fatalf("weights length %d, want %d", ws.Len(), g.NumAdjEntries())
+	}
+	// Build a map of weights seen from each direction and verify symmetry and
+	// range.
+	weightOf := make(map[[2]int32]uint32)
+	for v := 0; v < g.NumVertices(); v++ {
+		base := g.AdjOffset(v)
+		for i, u := range g.Neighbors(v) {
+			w := ws.At(base + int64(i))
+			if w < 1 || w > maxW {
+				t.Fatalf("weight %d out of [1,%d]", w, maxW)
+			}
+			weightOf[[2]int32{int32(v), u}] = w
+		}
+	}
+	for key, w := range weightOf {
+		if other, ok := weightOf[[2]int32{key[1], key[0]}]; !ok || other != w {
+			t.Fatalf("asymmetric weights for edge %v: %d vs %d", key, w, other)
+		}
+	}
+}
+
+func TestRandomWeightsDeterministicInSeed(t *testing.T) {
+	r := rng.New(13)
+	g, err := GNM(40, 150, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RandomWeights(g, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWeights(g, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RandomWeights(g, 50, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	differ := false
+	for i := int64(0); i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			same = false
+		}
+		if a.At(i) != c.At(i) {
+			differ = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different weights")
+	}
+	if !differ && a.Len() > 0 {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestRandomWeightsErrors(t *testing.T) {
+	g := Path(3)
+	if _, err := RandomWeights(g, 0, 1); err == nil {
+		t.Fatal("maxWeight=0 did not error")
+	}
+}
+
+func TestUnitWeights(t *testing.T) {
+	g := Grid(4, 4)
+	ws := UnitWeights(g)
+	for i := int64(0); i < ws.Len(); i++ {
+		if ws.At(i) != 1 {
+			t.Fatalf("unit weight at %d is %d", i, ws.At(i))
+		}
+	}
+}

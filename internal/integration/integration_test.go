@@ -1,0 +1,421 @@
+// Package integration contains cross-cutting tests that exercise the whole
+// pipeline — graph generation, priority permutations, every scheduler family,
+// every algorithm, and both executors — against the sequential oracles. These
+// are the repository's end-to-end determinism and correctness guarantees.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"relaxsched/internal/algos/coloring"
+	"relaxsched/internal/algos/listcontract"
+	"relaxsched/internal/algos/matching"
+	"relaxsched/internal/algos/mis"
+	"relaxsched/internal/algos/shuffle"
+	"relaxsched/internal/algos/sssp"
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/exactheap"
+	"relaxsched/internal/sched/faaqueue"
+	"relaxsched/internal/sched/kbounded"
+	"relaxsched/internal/sched/multiqueue"
+	"relaxsched/internal/sched/spraylist"
+	"relaxsched/internal/sched/topk"
+)
+
+// sequentialSchedulers returns one instance of every sequential-model
+// scheduler family at the given relaxation factor.
+func sequentialSchedulers(k, capacity int, seed uint64) map[string]sched.Scheduler {
+	r := rng.New(seed)
+	return map[string]sched.Scheduler{
+		"exactheap":  exactheap.New(capacity),
+		"topk":       topk.New(k, capacity, r.Fork()),
+		"multiqueue": multiqueue.NewSequential(k, capacity, r.Fork()),
+		"spraylist":  spraylist.New(k, r.Fork()),
+		"kbounded":   kbounded.New(k, capacity),
+	}
+}
+
+// concurrentSchedulers returns one instance of every concurrent scheduler
+// configuration used in the experiments.
+func concurrentSchedulers(capacity, workers int, seed uint64) map[string]sched.Concurrent {
+	r := rng.New(seed)
+	return map[string]sched.Concurrent{
+		"multiqueue":        multiqueue.NewConcurrent(4*workers, capacity, seed),
+		"faaqueue":          faaqueue.New(capacity),
+		"locked-topk":       sched.NewLocked(topk.New(16, capacity, r.Fork())),
+		"locked-exact-heap": sched.NewLocked(exactheap.New(capacity)),
+	}
+}
+
+func TestFullMatrixGraphAlgorithmsSequentialModel(t *testing.T) {
+	// Every graph algorithm × every sequential-model scheduler family must
+	// reproduce the sequential greedy output on several random graphs.
+	r := rng.New(1234)
+	for trial := 0; trial < 3; trial++ {
+		n := 150 + r.Intn(250)
+		maxM := int64(n) * int64(n-1) / 2
+		m := int64(r.Intn(int(maxM / 3)))
+		g, err := graph.GNM(n, m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vertexLabels := core.RandomLabels(n, r)
+		edgeLabels := core.RandomLabels(int(g.NumEdges()), r)
+
+		wantMIS := mis.Sequential(g, vertexLabels)
+		wantColors := coloring.Sequential(g, vertexLabels)
+		wantMatching := matching.Sequential(g, edgeLabels)
+
+		for name, s := range sequentialSchedulers(8, n, uint64(trial)) {
+			gotMIS, _, err := mis.RunRelaxed(g, vertexLabels, s)
+			if err != nil {
+				t.Fatalf("trial %d mis/%s: %v", trial, name, err)
+			}
+			if !mis.Equal(gotMIS, wantMIS) {
+				t.Fatalf("trial %d mis/%s: output differs from sequential", trial, name)
+			}
+		}
+		for name, s := range sequentialSchedulers(8, n, uint64(trial)+100) {
+			gotColors, _, err := coloring.RunRelaxed(g, vertexLabels, s)
+			if err != nil {
+				t.Fatalf("trial %d coloring/%s: %v", trial, name, err)
+			}
+			if !coloring.Equal(gotColors, wantColors) {
+				t.Fatalf("trial %d coloring/%s: output differs from sequential", trial, name)
+			}
+		}
+		for name, s := range sequentialSchedulers(8, int(g.NumEdges())+1, uint64(trial)+200) {
+			gotMatching, _, err := matching.RunRelaxed(g, edgeLabels, s)
+			if err != nil {
+				t.Fatalf("trial %d matching/%s: %v", trial, name, err)
+			}
+			if !matching.Equal(gotMatching, wantMatching) {
+				t.Fatalf("trial %d matching/%s: output differs from sequential", trial, name)
+			}
+		}
+	}
+}
+
+func TestFullMatrixConcurrentSchedulers(t *testing.T) {
+	// MIS under every concurrent scheduler configuration and several worker
+	// counts must reproduce the sequential output, with the appropriate
+	// blocked-task policy for exact FIFOs.
+	r := rng.New(99)
+	const n = 1200
+	g, err := graph.GNM(n, 7000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := core.RandomLabels(n, r)
+	want := mis.Sequential(g, labels)
+
+	for _, workers := range []int{1, 3, 8} {
+		for name, s := range concurrentSchedulers(n, workers, uint64(workers)) {
+			policy := core.Reinsert
+			if name == "faaqueue" {
+				policy = core.Wait
+			}
+			got, res, err := mis.RunConcurrent(g, labels, s, core.ConcurrentOptions{Workers: workers, BlockedPolicy: policy})
+			if err != nil {
+				t.Fatalf("%s/workers=%d: %v", name, workers, err)
+			}
+			if !mis.Equal(got, want) {
+				t.Fatalf("%s/workers=%d: concurrent MIS differs from sequential", name, workers)
+			}
+			if err := mis.Verify(g, got); err != nil {
+				t.Fatalf("%s/workers=%d: %v", name, workers, err)
+			}
+			if res.Processed+res.DeadSkips != int64(n) {
+				t.Fatalf("%s/workers=%d: task accounting off: %+v", name, workers, res.Result)
+			}
+		}
+	}
+}
+
+func TestEndToEndFileRoundTripPipeline(t *testing.T) {
+	// Generate -> serialize -> parse -> solve (all algorithms) -> verify:
+	// the full path a user of the CLI tools takes.
+	r := rng.New(777)
+	g, err := graph.BarabasiAlbert(600, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := graph.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumVertices() != g.NumVertices() || parsed.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+
+	labels := core.RandomLabels(parsed.NumVertices(), r)
+	inSet, _, err := mis.RunRelaxed(parsed, labels, multiqueue.NewSequential(8, parsed.NumVertices(), r.Fork()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mis.Verify(parsed, inSet); err != nil {
+		t.Fatal(err)
+	}
+
+	colors, _, err := coloring.RunRelaxed(parsed, labels, spraylist.New(8, r.Fork()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(parsed, colors); err != nil {
+		t.Fatal(err)
+	}
+
+	edgeLabels := core.RandomLabels(int(parsed.NumEdges()), r)
+	matched, _, err := matching.RunRelaxed(parsed, edgeLabels, kbounded.New(8, int(parsed.NumEdges())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matching.Verify(parsed, matched); err != nil {
+		t.Fatal(err)
+	}
+
+	weights, err := graph.RandomWeights(parsed, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := sssp.RunConcurrent(parsed, weights, 0, multiqueue.NewConcurrent(8, parsed.NumVertices(), 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sssp.Verify(parsed, weights, 0, dist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefinitionOneHoldsForConcurrentMultiQueue(t *testing.T) {
+	// Drive a real concurrent MIS execution through an instrumented
+	// MultiQueue and check that the observed relaxation looks like the
+	// (k, φ)-relaxed model with k = O(#queues): small mean rank, and maximum
+	// rank/inversions far below n.
+	r := rng.New(31)
+	const n = 4000
+	const workers = 4
+	const queues = 4 * workers
+	g, err := graph.GNM(n, 20000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := core.RandomLabels(n, r)
+	inner := multiqueue.NewConcurrent(queues, n, 17)
+	instrumented := sched.NewConcurrentInstrumented(inner, n)
+	got, _, err := mis.RunConcurrent(g, labels, instrumented, core.ConcurrentOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mis.Equal(got, mis.Sequential(g, labels)) {
+		t.Fatal("instrumented concurrent MIS differs from sequential")
+	}
+	m := instrumented.Metrics()
+	if m.Removals < int64(n) {
+		t.Fatalf("instrumented scheduler saw only %d removals for %d tasks", m.Removals, n)
+	}
+	if m.MeanRank > 8*queues {
+		t.Fatalf("mean rank %.1f too large for %d queues", m.MeanRank, queues)
+	}
+	if m.MaxRank > n/4 {
+		t.Fatalf("max rank %d is a large fraction of n=%d", m.MaxRank, n)
+	}
+	if m.MeanInversions > 32*queues {
+		t.Fatalf("mean inversions %.1f too large for %d queues", m.MeanInversions, queues)
+	}
+}
+
+func TestTheoremScalingShapes(t *testing.T) {
+	// A coarse end-to-end restatement of the two theorem-validation
+	// experiments in EXPERIMENTS.md: MIS overhead does not scale with n
+	// (Theorem 2) while generic-framework overhead grows with density
+	// (Theorem 1).
+	if testing.Short() {
+		t.Skip("scaling test is slow")
+	}
+	misExtra := func(n int) float64 {
+		r := rng.New(uint64(n))
+		g, err := graph.GNM(n, int64(10*n), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := core.RandomLabels(n, r)
+		total := 0.0
+		const trials = 3
+		for trial := 0; trial < trials; trial++ {
+			_, res, err := mis.RunRelaxed(g, labels, multiqueue.NewSequential(16, n, rng.New(uint64(trial))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(res.ExtraIterations())
+		}
+		return total / trials
+	}
+	small := misExtra(1000)
+	large := misExtra(32000)
+	if large > 10*(small+30) {
+		t.Fatalf("Theorem 2 shape violated: extra iterations grew from %.1f (n=1000) to %.1f (n=32000)", small, large)
+	}
+
+	coloringExtra := func(m int64) float64 {
+		r := rng.New(uint64(m))
+		const n = 1500
+		g, err := graph.GNM(n, m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := core.RandomLabels(n, r)
+		_, res, err := coloring.RunRelaxed(g, labels, multiqueue.NewSequential(16, n, r.Fork()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.ExtraIterations())
+	}
+	sparse := coloringExtra(1500)
+	dense := coloringExtra(60000)
+	if dense < 3*sparse {
+		t.Fatalf("Theorem 1 shape violated: extra iterations did not grow with density (%.1f at m=n vs %.1f at m=40n)", sparse, dense)
+	}
+}
+
+func TestNonGraphWorkloadsEndToEnd(t *testing.T) {
+	// List contraction and Knuth shuffle through every scheduler family and
+	// the concurrent executor.
+	r := rng.New(2020)
+	const n = 800
+	lcProblem := listcontract.NewRandomList(n, r)
+	lcLabels := core.RandomLabels(n, r)
+	wantPrev, wantNext := listcontract.Sequential(lcProblem, lcLabels)
+
+	targets := shuffle.RandomTargets(n, r)
+	wantPerm := shuffle.Sequential(targets)
+
+	for name, s := range sequentialSchedulers(8, n, 55) {
+		gotPrev, gotNext, _, err := listcontract.RunRelaxed(lcProblem, lcLabels, s)
+		if err != nil {
+			t.Fatalf("listcontract/%s: %v", name, err)
+		}
+		if !listcontract.Equal(gotPrev, gotNext, wantPrev, wantNext) {
+			t.Fatalf("listcontract/%s: output differs", name)
+		}
+	}
+	for name, s := range sequentialSchedulers(8, n, 56) {
+		gotPerm, _, err := shuffle.RunRelaxed(targets, s)
+		if err != nil {
+			t.Fatalf("shuffle/%s: %v", name, err)
+		}
+		if !shuffle.Equal(gotPerm, wantPerm) {
+			t.Fatalf("shuffle/%s: output differs", name)
+		}
+	}
+
+	mq := multiqueue.NewConcurrent(8, n, 3)
+	gotPrev, gotNext, _, err := listcontract.RunConcurrent(lcProblem, lcLabels, mq, core.ConcurrentOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !listcontract.Equal(gotPrev, gotNext, wantPrev, wantNext) {
+		t.Fatal("concurrent list contraction differs from sequential")
+	}
+	gotPerm, _, err := shuffle.RunConcurrent(targets, faaqueue.New(n), core.ConcurrentOptions{Workers: 4, BlockedPolicy: core.Wait})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shuffle.Equal(gotPerm, wantPerm) {
+		t.Fatal("concurrent shuffle differs from sequential")
+	}
+}
+
+func TestRepeatedConcurrentRunsAreStable(t *testing.T) {
+	// The same configuration run many times must always give the same
+	// answer — a regression net for subtle scheduling races.
+	r := rng.New(404)
+	const n = 900
+	g, err := graph.GNM(n, 5400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := core.RandomLabels(n, r)
+	want := mis.Sequential(g, labels)
+	for i := 0; i < 10; i++ {
+		mq := multiqueue.NewConcurrent(8, n, uint64(i))
+		got, _, err := mis.RunConcurrent(g, labels, mq, core.ConcurrentOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mis.Equal(got, want) {
+			t.Fatalf("run %d differs from sequential MIS", i)
+		}
+	}
+}
+
+func TestLabelsReuseAcrossAlgorithmsIsIndependent(t *testing.T) {
+	// Sanity check that algorithms do not mutate shared inputs: running MIS
+	// must not change the labels or the graph used afterwards by coloring.
+	r := rng.New(606)
+	const n = 500
+	g, err := graph.GNM(n, 2500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := core.RandomLabels(n, r)
+	labelsCopy := append([]uint32(nil), labels...)
+
+	if _, _, err := mis.RunRelaxed(g, labels, topk.New(8, n, r.Fork())); err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if labels[i] != labelsCopy[i] {
+			t.Fatal("MIS execution mutated the shared label slice")
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("MIS execution corrupted the graph: %v", err)
+	}
+	colors := coloring.Sequential(g, labels)
+	if err := coloring.Verify(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifiersRejectCrossAlgorithmOutputs(t *testing.T) {
+	// Feeding one algorithm's output into another's verifier must fail —
+	// guards against verifiers that accept anything.
+	g := graph.Complete(6)
+	labels := core.IdentityLabels(6)
+	inSet := mis.Sequential(g, labels)
+	asColors := make([]int32, len(inSet))
+	for i, in := range inSet {
+		if in {
+			asColors[i] = 0
+		} else {
+			asColors[i] = 0 // deliberately improper: clique needs 6 colors
+		}
+	}
+	if err := coloring.Verify(g, asColors); err == nil {
+		t.Fatal("coloring verifier accepted a constant coloring of a clique")
+	}
+}
+
+func TestTinyDeterministicEndToEnd(t *testing.T) {
+	// A tiny fully deterministic end-to-end run with a known answer,
+	// doubling as an example of the API surface.
+	g := graph.Path(5)
+	labels := core.IdentityLabels(5)
+	set, res, err := mis.RunRelaxed(g, labels, topk.New(2, 5, rng.New(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(set, res.Processed); got != "[true false true false true] 3" {
+		t.Fatalf("unexpected result %q", got)
+	}
+}

@@ -1,0 +1,269 @@
+package orderstat
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+)
+
+func TestFenwickPrefixSums(t *testing.T) {
+	f := NewFenwick(10)
+	vals := []int64{3, 0, -2, 7, 1, 0, 5, 2, 0, 4}
+	for i, v := range vals {
+		f.Add(i, v)
+	}
+	var want int64
+	for i, v := range vals {
+		want += v
+		if got := f.PrefixSum(i); got != want {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := f.PrefixSum(-1); got != 0 {
+		t.Fatalf("PrefixSum(-1) = %d, want 0", got)
+	}
+	if got := f.PrefixSum(100); got != f.Total() {
+		t.Fatalf("PrefixSum beyond range = %d, want total %d", got, f.Total())
+	}
+	if got := f.RangeSum(2, 4); got != -2+7+1 {
+		t.Fatalf("RangeSum(2,4) = %d, want 6", got)
+	}
+	if got := f.RangeSum(5, 4); got != 0 {
+		t.Fatalf("RangeSum on empty range = %d, want 0", got)
+	}
+}
+
+func TestFenwickOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Add")
+		}
+	}()
+	NewFenwick(5).Add(5, 1)
+}
+
+func TestFenwickMatchesNaiveModel(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 64
+		f := NewFenwick(n)
+		model := make([]int64, n)
+		for op := 0; op < 300; op++ {
+			i := r.Intn(n)
+			switch r.Intn(2) {
+			case 0:
+				d := int64(r.Intn(21) - 10)
+				f.Add(i, d)
+				model[i] += d
+			case 1:
+				var want int64
+				for j := 0; j <= i; j++ {
+					want += model[j]
+				}
+				if f.PrefixSum(i) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetInsertRemoveContains(t *testing.T) {
+	s := NewSet(20)
+	if s.Len() != 0 {
+		t.Fatalf("new set Len = %d", s.Len())
+	}
+	if !s.Insert(5) || !s.Insert(10) || !s.Insert(3) {
+		t.Fatal("Insert of new key returned false")
+	}
+	if s.Insert(5) {
+		t.Fatal("duplicate Insert returned true")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(5) || s.Contains(6) {
+		t.Fatal("Contains misreports membership")
+	}
+	if !s.Remove(5) {
+		t.Fatal("Remove of present key returned false")
+	}
+	if s.Remove(5) {
+		t.Fatal("Remove of absent key returned true")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after remove = %d, want 2", s.Len())
+	}
+}
+
+func TestSetRankAndSelect(t *testing.T) {
+	s := NewSet(100)
+	keys := []int{7, 3, 50, 99, 0, 42}
+	for _, k := range keys {
+		s.Insert(k)
+	}
+	sorted := append([]int(nil), keys...)
+	sort.Ints(sorted)
+	for r, k := range sorted {
+		if got := s.Rank(k); got != r+1 {
+			t.Fatalf("Rank(%d) = %d, want %d", k, got, r+1)
+		}
+		if got := s.Select(r + 1); got != k {
+			t.Fatalf("Select(%d) = %d, want %d", r+1, got, k)
+		}
+	}
+	if got := s.Min(); got != 0 {
+		t.Fatalf("Min = %d, want 0", got)
+	}
+	if got := s.Select(0); got != -1 {
+		t.Fatalf("Select(0) = %d, want -1", got)
+	}
+	if got := s.Select(len(keys) + 1); got != -1 {
+		t.Fatalf("Select(too large) = %d, want -1", got)
+	}
+	// Rank of an absent key.
+	if got := s.Rank(10); got != 4 {
+		t.Fatalf("Rank(absent 10) = %d, want 4", got)
+	}
+	if got := s.CountLess(10); got != 3 {
+		t.Fatalf("CountLess(10) = %d, want 3", got)
+	}
+}
+
+func TestSetMinEmpty(t *testing.T) {
+	s := NewSet(10)
+	if got := s.Min(); got != -1 {
+		t.Fatalf("Min of empty set = %d, want -1", got)
+	}
+}
+
+func TestSetMatchesSortedSliceModel(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 128
+		s := NewSet(n)
+		model := make(map[int]bool)
+		for op := 0; op < 400; op++ {
+			k := r.Intn(n)
+			switch r.Intn(3) {
+			case 0:
+				s.Insert(k)
+				model[k] = true
+			case 1:
+				s.Remove(k)
+				delete(model, k)
+			case 2:
+				// Compare rank and min against the model.
+				keys := make([]int, 0, len(model))
+				for mk := range model {
+					keys = append(keys, mk)
+				}
+				sort.Ints(keys)
+				wantRank := 1
+				for _, mk := range keys {
+					if mk < k {
+						wantRank++
+					}
+				}
+				if s.Rank(k) != wantRank {
+					return false
+				}
+				wantMin := -1
+				if len(keys) > 0 {
+					wantMin = keys[0]
+				}
+				if s.Min() != wantMin {
+					return false
+				}
+				if s.Len() != len(keys) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeAdder(t *testing.T) {
+	ra := NewRangeAdder(10)
+	ra.AddRange(2, 5, 3)
+	ra.AddRange(4, 9, 1)
+	ra.AddRange(0, 0, 7)
+	want := []int64{7, 0, 3, 3, 4, 4, 1, 1, 1, 1}
+	for i, w := range want {
+		if got := ra.Get(i); got != w {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Clamping and empty ranges.
+	ra.AddRange(-5, 100, 1)
+	if got := ra.Get(0); got != 8 {
+		t.Fatalf("after clamped range add, Get(0) = %d, want 8", got)
+	}
+	ra.AddRange(5, 2, 100) // empty, no-op
+	if got := ra.Get(3); got != 4 {
+		t.Fatalf("after empty range add, Get(3) = %d, want 4", got)
+	}
+}
+
+func TestRangeAdderMatchesNaive(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 50
+		ra := NewRangeAdder(n)
+		model := make([]int64, n)
+		for op := 0; op < 200; op++ {
+			lo := r.Intn(n)
+			hi := r.Intn(n)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			d := int64(r.Intn(11) - 5)
+			ra.AddRange(lo, hi, d)
+			for i := lo; i <= hi; i++ {
+				model[i] += d
+			}
+			probe := r.Intn(n)
+			if ra.Get(probe) != model[probe] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetInsertRemove(b *testing.B) {
+	const n = 1 << 16
+	s := NewSet(n)
+	for i := 0; i < b.N; i++ {
+		k := i & (n - 1)
+		s.Insert(k)
+		s.Remove(k)
+	}
+}
+
+func BenchmarkSetRank(b *testing.B) {
+	const n = 1 << 16
+	s := NewSet(n)
+	for i := 0; i < n; i += 2 {
+		s.Insert(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Rank(i & (n - 1))
+	}
+	_ = sink
+}

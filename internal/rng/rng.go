@@ -1,0 +1,168 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the library.
+//
+// The library needs reproducible randomness in three places: generating
+// input graphs, generating priority permutations, and driving the random
+// choices inside relaxed schedulers (e.g. the two-choice queue selection in a
+// MultiQueue). Using a self-contained generator rather than math/rand keeps
+// results bit-for-bit reproducible across Go versions and lets every worker
+// goroutine own an independent, unsynchronized stream.
+package rng
+
+// SplitMix64 is a tiny 64-bit generator with a 64-bit state. It is primarily
+// used to seed other generators and to derive independent streams from a
+// single user-provided seed.
+//
+// The zero value is a valid generator (it behaves as if seeded with 0).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator: fast, high quality, and cheap to fork
+// into independent streams. It is NOT safe for concurrent use; give each
+// goroutine its own Rand (see Fork).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand seeded deterministically from seed.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	var r Rand
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// Avoid the all-zero state, which is a fixed point of xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Fork derives a new, statistically independent generator from r.
+// The parent generator advances, so successive forks are distinct.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+
+	return result
+}
+
+// Uint32 returns the next pseudo-random 32-bit value.
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring the
+// contract of math/rand.Intn; callers are expected to validate n.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It returns 0 when n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire's nearly-divisionless method with a rejection loop to remove
+	// modulo bias.
+	threshold := -n % n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p uniformly at random in place (Fisher-Yates).
+func (r *Rand) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Perm32 returns a uniformly random permutation of [0, n) as uint32 values.
+// It is used for priority permutations, which the rest of the library stores
+// as compact 32-bit labels.
+func (r *Rand) Perm32(n int) []uint32 {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

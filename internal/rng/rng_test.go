@@ -1,0 +1,271 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownSequenceDeterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Next(), b.Next(); got != want {
+			t.Fatalf("step %d: streams diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestSplitMix64DifferentSeedsDiffer(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds coincide %d/100 times", same)
+	}
+}
+
+func TestNewZeroSeedIsUsable(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded generator produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestRandDeterministicForSeed(t *testing.T) {
+	a := New(123)
+	b := New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	f1 := parent.Fork()
+	f2 := parent.Fork()
+	equal := 0
+	for i := 0; i < 1000; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("forked streams coincide %d/1000 times; expected near 0", equal)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(99)
+	for _, n := range []int{1, 2, 3, 7, 10, 1000, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nZero(t *testing.T) {
+	r := New(5)
+	if got := r.Uint64n(0); got != 0 {
+		t.Fatalf("Uint64n(0) = %d, want 0", got)
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Uint64n(64)
+		if v >= 64 {
+			t.Fatalf("Uint64n(64) = %d out of range", v)
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square-ish sanity check on a small modulus.
+	r := New(2024)
+	const n = 10
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	expected := float64(draws) / n
+	for b, c := range counts {
+		dev := math.Abs(float64(c)-expected) / expected
+		if dev > 0.05 {
+			t.Fatalf("bucket %d has count %d, deviates %.1f%% from expected %.0f", b, c, dev*100, expected)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(77)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(88)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of %d uniform draws = %v, want ~0.5", draws, mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n {
+				t.Fatalf("Perm(%d) contains out-of-range %d", n, v)
+			}
+			if seen[v] {
+				t.Fatalf("Perm(%d) contains duplicate %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPerm32IsPermutation(t *testing.T) {
+	r := New(4)
+	for _, n := range []int{0, 1, 3, 64, 500} {
+		p := r.Perm32(n)
+		if len(p) != n {
+			t.Fatalf("Perm32(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if int(v) >= n || seen[v] {
+				t.Fatalf("Perm32(%d): invalid or duplicate value %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformityOverSmallN(t *testing.T) {
+	// All 6 permutations of 3 elements should appear with roughly equal
+	// frequency.
+	r := New(2718)
+	counts := make(map[[3]int]int)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		p := r.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations of 3 elements, want 6", len(counts))
+	}
+	expected := float64(trials) / 6
+	for perm, c := range counts {
+		dev := math.Abs(float64(c)-expected) / expected
+		if dev > 0.05 {
+			t.Fatalf("permutation %v occurred %d times, deviates %.1f%% from %v", perm, c, dev*100, expected)
+		}
+	}
+}
+
+func TestShuffleEmptyAndSingleton(t *testing.T) {
+	r := New(1)
+	var empty []int
+	r.Shuffle(empty) // must not panic
+	one := []int{42}
+	r.Shuffle(one)
+	if one[0] != 42 {
+		t.Fatalf("shuffling a singleton changed its value to %d", one[0])
+	}
+}
+
+func TestMul64AgainstBigComputation(t *testing.T) {
+	check := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		// Verify via decomposition into 32-bit halves computed independently.
+		x0, x1 := x&0xffffffff, x>>32
+		y0, y1 := y&0xffffffff, y>>32
+		// lo must equal x*y mod 2^64 by definition of Go multiplication.
+		if lo != x*y {
+			return false
+		}
+		// hi computed by schoolbook method.
+		w0 := x0 * y0
+		t1 := x1*y0 + w0>>32
+		w1 := t1 & 0xffffffff
+		w2 := t1 >> 32
+		w1 += x0 * y1
+		wantHi := x1*y1 + w2 + w1>>32
+		return hi == wantHi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nNeverExceedsBound(t *testing.T) {
+	r := New(31337)
+	check := func(bound uint64) bool {
+		if bound == 0 {
+			return r.Uint64n(0) == 0
+		}
+		return r.Uint64n(bound) < bound
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn1024(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1024)
+	}
+	_ = sink
+}

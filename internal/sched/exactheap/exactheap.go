@@ -1,0 +1,97 @@
+// Package exactheap implements an exact (non-relaxed) priority scheduler as a
+// binary min-heap. It is the k = 1 reference point of the paper: GetMin always
+// returns the live item of smallest priority, so the framework built on it
+// behaves exactly like Algorithm 1 and incurs zero wasted work — at the cost
+// of having no concurrency whatsoever (wrap it in sched.Locked to share it
+// between goroutines).
+package exactheap
+
+import "relaxsched/internal/sched"
+
+// Heap is a binary min-heap over sched.Item ordered by Item.Less. The zero
+// value is an empty heap ready for use; New pre-allocates capacity.
+type Heap struct {
+	items []sched.Item
+}
+
+var _ sched.Scheduler = (*Heap)(nil)
+
+// New returns an empty heap with room for capacity items before reallocating.
+func New(capacity int) *Heap {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Heap{items: make([]sched.Item, 0, capacity)}
+}
+
+// Factory returns a sched.Factory producing exact heaps.
+func Factory() sched.Factory {
+	return func(capacity int) sched.Scheduler { return New(capacity) }
+}
+
+// Insert adds an item to the heap.
+func (h *Heap) Insert(it sched.Item) {
+	h.items = append(h.items, it)
+	h.siftUp(len(h.items) - 1)
+}
+
+// ApproxGetMin removes and returns the minimum item. Despite the name
+// (shared with relaxed schedulers through the Scheduler interface), the
+// result is always exact.
+func (h *Heap) ApproxGetMin() (sched.Item, bool) {
+	if len(h.items) == 0 {
+		return sched.Item{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+// Peek returns the minimum item without removing it.
+func (h *Heap) Peek() (sched.Item, bool) {
+	if len(h.items) == 0 {
+		return sched.Item{}, false
+	}
+	return h.items[0], true
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Empty reports whether the heap is empty.
+func (h *Heap) Empty() bool { return len(h.items) == 0 }
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].Less(h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.items[right].Less(h.items[left]) {
+			smallest = right
+		}
+		if !h.items[smallest].Less(h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

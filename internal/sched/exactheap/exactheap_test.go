@@ -1,0 +1,135 @@
+package exactheap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	h := New(0)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("new heap not empty")
+	}
+	if _, ok := h.ApproxGetMin(); ok {
+		t.Fatal("ApproxGetMin on empty heap returned an item")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap returned an item")
+	}
+	// Negative capacity must not panic.
+	_ = New(-1)
+}
+
+func TestHeapSortedDrain(t *testing.T) {
+	h := New(16)
+	priorities := []uint32{5, 1, 9, 3, 7, 0, 2, 8, 6, 4}
+	for i, p := range priorities {
+		h.Insert(sched.Item{Task: int32(i), Priority: p})
+	}
+	if h.Len() != len(priorities) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(priorities))
+	}
+	if top, ok := h.Peek(); !ok || top.Priority != 0 {
+		t.Fatalf("Peek = %v, %v", top, ok)
+	}
+	var drained []uint32
+	for !h.Empty() {
+		it, ok := h.ApproxGetMin()
+		if !ok {
+			t.Fatal("ApproxGetMin returned false on non-empty heap")
+		}
+		drained = append(drained, it.Priority)
+	}
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+		t.Fatalf("heap did not drain in sorted order: %v", drained)
+	}
+	if len(drained) != len(priorities) {
+		t.Fatalf("drained %d items, inserted %d", len(drained), len(priorities))
+	}
+}
+
+func TestHeapTiesBrokenByTask(t *testing.T) {
+	h := New(4)
+	h.Insert(sched.Item{Task: 9, Priority: 5})
+	h.Insert(sched.Item{Task: 2, Priority: 5})
+	h.Insert(sched.Item{Task: 4, Priority: 5})
+	first, _ := h.ApproxGetMin()
+	if first.Task != 2 {
+		t.Fatalf("expected lowest task id to win ties, got task %d", first.Task)
+	}
+}
+
+func TestHeapInterleavedInsertRemove(t *testing.T) {
+	h := New(0)
+	h.Insert(sched.Item{Task: 1, Priority: 10})
+	h.Insert(sched.Item{Task: 2, Priority: 5})
+	if it, _ := h.ApproxGetMin(); it.Priority != 5 {
+		t.Fatalf("got priority %d, want 5", it.Priority)
+	}
+	h.Insert(sched.Item{Task: 3, Priority: 1})
+	h.Insert(sched.Item{Task: 4, Priority: 20})
+	if it, _ := h.ApproxGetMin(); it.Priority != 1 {
+		t.Fatalf("got priority %d, want 1", it.Priority)
+	}
+	if it, _ := h.ApproxGetMin(); it.Priority != 10 {
+		t.Fatalf("got priority %d, want 10", it.Priority)
+	}
+	if it, _ := h.ApproxGetMin(); it.Priority != 20 {
+		t.Fatalf("got priority %d, want 20", it.Priority)
+	}
+	if !h.Empty() {
+		t.Fatal("heap should be empty")
+	}
+}
+
+func TestHeapMatchesSortModel(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(500)
+		h := New(n)
+		want := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			p := r.Uint32() % 1000
+			want[i] = p
+			h.Insert(sched.Item{Task: int32(i), Priority: p})
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, w := range want {
+			it, ok := h.ApproxGetMin()
+			if !ok || it.Priority != w {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory()
+	s := f(10)
+	s.Insert(sched.Item{Task: 0, Priority: 3})
+	if s.Len() != 1 {
+		t.Fatal("factory-produced heap broken")
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	h := New(1024)
+	r := rng.New(1)
+	for i := 0; i < 1024; i++ {
+		h.Insert(sched.Item{Task: int32(i), Priority: r.Uint32()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, _ := h.ApproxGetMin()
+		it.Priority = r.Uint32()
+		h.Insert(it)
+	}
+}

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"relaxsched/internal/orderstat"
+	"relaxsched/internal/stats"
+)
+
+// Instrumented wraps a sequential Scheduler and measures, for every
+// ApproxGetMin, the rank of the returned item among all live items and the
+// number of priority inversions the item suffered since it was (last)
+// inserted. These are exactly the two quantities bounded by the paper's
+// (k, φ)-relaxed scheduler definition, so tests use Instrumented to validate
+// that the concrete schedulers empirically satisfy their claimed relaxation.
+//
+// Instrumented assumes priorities are dense labels in [0, universe), which is
+// how the execution framework assigns them (the position of each task in the
+// priority permutation).
+type Instrumented struct {
+	inner    Scheduler
+	live     *orderstat.Set        // priorities currently inside the scheduler
+	invAcc   *orderstat.RangeAdder // accumulated inversion counts by priority
+	baseline []int64               // inversion count at the time of last insert
+
+	ranks      stats.Accumulator
+	inversions stats.Accumulator
+	maxRank    int
+	maxInv     int64
+	removals   int64
+}
+
+var _ Scheduler = (*Instrumented)(nil)
+
+// NewInstrumented wraps inner. universe must be strictly greater than any
+// priority that will be inserted.
+func NewInstrumented(inner Scheduler, universe int) *Instrumented {
+	return &Instrumented{
+		inner:    inner,
+		live:     orderstat.NewSet(universe),
+		invAcc:   orderstat.NewRangeAdder(universe),
+		baseline: make([]int64, universe),
+	}
+}
+
+// Insert adds an item and starts tracking its inversions.
+func (m *Instrumented) Insert(it Item) {
+	p := int(it.Priority)
+	m.live.Insert(p)
+	m.baseline[p] = m.invAcc.Get(p)
+	m.inner.Insert(it)
+}
+
+// ApproxGetMin removes an item, recording its rank among live items and the
+// inversions it suffered while live.
+func (m *Instrumented) ApproxGetMin() (Item, bool) {
+	it, ok := m.inner.ApproxGetMin()
+	if !ok {
+		return it, false
+	}
+	p := int(it.Priority)
+	rank := m.live.Rank(p)
+	m.live.Remove(p)
+	inv := m.invAcc.Get(p) - m.baseline[p]
+
+	m.ranks.Add(float64(rank))
+	m.inversions.Add(float64(inv))
+	if rank > m.maxRank {
+		m.maxRank = rank
+	}
+	if inv > m.maxInv {
+		m.maxInv = inv
+	}
+	m.removals++
+
+	// Every live item with a smaller priority label suffers one inversion
+	// unless the removed item was the true minimum.
+	if p > 0 && rank > 1 {
+		m.invAcc.AddRange(0, p-1, 1)
+	}
+	return it, true
+}
+
+// Len returns the number of held items.
+func (m *Instrumented) Len() int { return m.inner.Len() }
+
+// Empty reports whether the scheduler holds no items.
+func (m *Instrumented) Empty() bool { return m.inner.Empty() }
+
+// Metrics summarizes the relaxation observed so far.
+type Metrics struct {
+	// Removals is the number of successful ApproxGetMin calls.
+	Removals int64
+	// MeanRank and MaxRank describe the rank of removed items among live
+	// items (1 = exact behaviour).
+	MeanRank float64
+	MaxRank  int
+	// MeanInversions and MaxInversions describe the priority inversions
+	// suffered by items between insertion and removal.
+	MeanInversions float64
+	MaxInversions  int64
+}
+
+// Metrics returns the relaxation statistics accumulated so far.
+func (m *Instrumented) Metrics() Metrics {
+	return Metrics{
+		Removals:       m.removals,
+		MeanRank:       m.ranks.Mean(),
+		MaxRank:        m.maxRank,
+		MeanInversions: m.inversions.Mean(),
+		MaxInversions:  m.maxInv,
+	}
+}

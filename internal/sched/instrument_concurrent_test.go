@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// lifoConcurrent is a mutex-protected LIFO used to exercise the concurrent
+// instrumentation without importing the scheduler sub-packages.
+type lifoConcurrent struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+func (l *lifoConcurrent) Insert(it Item) {
+	l.mu.Lock()
+	l.items = append(l.items, it)
+	l.mu.Unlock()
+}
+
+func (l *lifoConcurrent) ApproxGetMin() (Item, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.items) == 0 {
+		return Item{}, false
+	}
+	it := l.items[len(l.items)-1]
+	l.items = l.items[:len(l.items)-1]
+	return it, true
+}
+
+func TestConcurrentInstrumentedSequentialUse(t *testing.T) {
+	const n = 10
+	m := NewConcurrentInstrumented(&lifoConcurrent{}, n)
+	for i := 0; i < n; i++ {
+		m.Insert(Item{Task: int32(i), Priority: uint32(i)})
+	}
+	// LIFO: first removal has rank n, last item suffers n-1 inversions.
+	if it, ok := m.ApproxGetMin(); !ok || it.Priority != n-1 {
+		t.Fatalf("first removal = %v, %v", it, ok)
+	}
+	for {
+		if _, ok := m.ApproxGetMin(); !ok {
+			break
+		}
+	}
+	metrics := m.Metrics()
+	if metrics.Removals != n {
+		t.Fatalf("removals = %d, want %d", metrics.Removals, n)
+	}
+	if metrics.MaxRank != n {
+		t.Fatalf("MaxRank = %d, want %d", metrics.MaxRank, n)
+	}
+	if metrics.MaxInversions != n-1 {
+		t.Fatalf("MaxInversions = %d, want %d", metrics.MaxInversions, n-1)
+	}
+}
+
+func TestConcurrentInstrumentedParallelDrainConsistency(t *testing.T) {
+	// Parallel inserts and drains: the wrapper must never lose or duplicate
+	// accounting (total removals equals total inserts) and never deadlock.
+	const n = 20000
+	const workers = 8
+	m := NewConcurrentInstrumented(&lifoConcurrent{}, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				m.Insert(Item{Task: int32(i), Priority: uint32(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := m.ApproxGetMin(); !ok {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	metrics := m.Metrics()
+	if metrics.Removals != n {
+		t.Fatalf("removals = %d, want %d", metrics.Removals, n)
+	}
+	if metrics.MaxRank < 1 || metrics.MaxRank > n {
+		t.Fatalf("implausible MaxRank %d", metrics.MaxRank)
+	}
+}
+
+func TestConcurrentInstrumentedEmpty(t *testing.T) {
+	m := NewConcurrentInstrumented(&lifoConcurrent{}, 4)
+	if _, ok := m.ApproxGetMin(); ok {
+		t.Fatal("empty scheduler returned an item")
+	}
+	if m.Metrics().Removals != 0 {
+		t.Fatal("failed gets recorded as removals")
+	}
+}

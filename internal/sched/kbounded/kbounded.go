@@ -1,0 +1,107 @@
+// Package kbounded implements a deterministic k-relaxed scheduler in the
+// spirit of the k-LSM of Wimmer et al. (reference [26] of the paper): every
+// returned item is guaranteed to be among the k smallest live items, and an
+// item can be overtaken by at most k-1 lower-priority items before it is
+// returned. As the paper notes, such deterministic structures trivially
+// satisfy the (k, φ)-relaxed scheduler definition.
+//
+// The structure keeps an exact heap plus a FIFO dispatch buffer of at most k
+// items and maintains the invariant that every buffered item is no larger
+// than every heap item (so the buffer always holds the |buffer| smallest live
+// items):
+//
+//   - ApproxGetMin tops the buffer up from the heap (heap minima, so the
+//     invariant is preserved) and returns the buffer's FIFO front. Because
+//     the buffer holds at most k of the smallest items, the returned rank is
+//     at most k.
+//   - Insert places the new item directly into the buffer when it is smaller
+//     than the current buffer maximum, evicting that maximum back to the
+//     heap; otherwise it goes to the heap. This keeps the invariant under
+//     arbitrary interleavings of inserts and deletes.
+//
+// An item suffers inversions only from the at most k-1 items that were ahead
+// of it in the dispatch buffer when it was inserted, so the fairness bound is
+// deterministic as well.
+package kbounded
+
+import (
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/exactheap"
+)
+
+// Queue is a deterministic k-relaxed scheduler.
+type Queue struct {
+	heap   *exactheap.Heap
+	buffer []sched.Item // FIFO dispatch buffer, len <= k, subset of k smallest
+	k      int
+}
+
+var _ sched.Scheduler = (*Queue)(nil)
+
+// New returns a k-bounded queue. Values of k below 1 are treated as 1, which
+// degenerates to an exact scheduler.
+func New(k, capacity int) *Queue {
+	if k < 1 {
+		k = 1
+	}
+	return &Queue{
+		heap:   exactheap.New(capacity),
+		buffer: make([]sched.Item, 0, k),
+		k:      k,
+	}
+}
+
+// Factory returns a sched.Factory producing k-bounded queues.
+func Factory(k int) sched.Factory {
+	return func(capacity int) sched.Scheduler { return New(k, capacity) }
+}
+
+// K returns the relaxation bound.
+func (q *Queue) K() int { return q.k }
+
+// Insert adds an item. If the item is smaller than the largest buffered item
+// it takes that item's place in the dispatch buffer (the displaced item
+// returns to the heap), preserving the invariant that the buffer holds the
+// smallest live items.
+func (q *Queue) Insert(it sched.Item) {
+	if len(q.buffer) > 0 {
+		maxIdx := 0
+		for i := 1; i < len(q.buffer); i++ {
+			if q.buffer[maxIdx].Less(q.buffer[i]) {
+				maxIdx = i
+			}
+		}
+		if it.Less(q.buffer[maxIdx]) {
+			q.heap.Insert(q.buffer[maxIdx])
+			q.buffer[maxIdx] = it
+			return
+		}
+	}
+	q.heap.Insert(it)
+}
+
+// ApproxGetMin returns the front of the dispatch buffer after topping the
+// buffer up from the heap. The returned item always has rank at most k among
+// live items.
+func (q *Queue) ApproxGetMin() (sched.Item, bool) {
+	for len(q.buffer) < q.k {
+		it, ok := q.heap.ApproxGetMin()
+		if !ok {
+			break
+		}
+		q.buffer = append(q.buffer, it)
+	}
+	if len(q.buffer) == 0 {
+		return sched.Item{}, false
+	}
+	it := q.buffer[0]
+	copy(q.buffer, q.buffer[1:])
+	q.buffer = q.buffer[:len(q.buffer)-1]
+	return it, true
+}
+
+// Len returns the number of held items.
+func (q *Queue) Len() int { return q.heap.Len() + len(q.buffer) }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue) Empty() bool { return q.Len() == 0 }

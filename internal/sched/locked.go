@@ -1,0 +1,50 @@
+package sched
+
+import "sync"
+
+// Locked wraps a sequential Scheduler with a mutex, producing a scheduler
+// that satisfies both Scheduler and Concurrent. It is the classic
+// "coarse-grained lock" baseline: semantically identical to the wrapped
+// scheduler but with all scalability removed, which is exactly how the paper
+// characterizes exact schedulers ("exact but not scalable").
+type Locked struct {
+	mu    sync.Mutex
+	inner Scheduler
+}
+
+var (
+	_ Scheduler  = (*Locked)(nil)
+	_ Concurrent = (*Locked)(nil)
+)
+
+// NewLocked returns a Locked wrapper around inner. The wrapper owns inner;
+// callers must not use inner directly afterwards.
+func NewLocked(inner Scheduler) *Locked {
+	return &Locked{inner: inner}
+}
+
+// Insert adds an item under the lock.
+func (l *Locked) Insert(it Item) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Insert(it)
+}
+
+// ApproxGetMin removes an item under the lock.
+func (l *Locked) ApproxGetMin() (Item, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.ApproxGetMin()
+}
+
+// Len returns the number of held items.
+func (l *Locked) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Len()
+}
+
+// Empty reports whether the scheduler holds no items.
+func (l *Locked) Empty() bool {
+	return l.Len() == 0
+}

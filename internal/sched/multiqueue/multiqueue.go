@@ -1,0 +1,289 @@
+// Package multiqueue implements the MultiQueue relaxed priority scheduler of
+// Rihani, Sanders and Dementiev (SPAA'15), the scheduler the paper's
+// implementation and experiments are built on.
+//
+// A MultiQueue keeps c independent priority queues. Insert pushes into a
+// uniformly random queue; ApproxGetMin samples two distinct random queues and
+// pops from the one whose minimum is smaller ("power of two choices").
+// Alistarh et al. (PODC'17, reference [2] of the paper) show this yields
+// exponential tail bounds on rank and fairness with k = O(c) and
+// φ = O(c log c), which is exactly the (k, φ)-relaxed scheduler model this
+// library's framework assumes.
+//
+// Two variants are provided: Sequential, the analytical model used by the
+// simulations, and Concurrent, a thread-safe implementation with one mutex
+// and one atomic min-priority hint per sub-queue, following the structure of
+// the paper's C++ implementation (the paper uses 4x as many queues as
+// threads; Concurrent defaults to the same ratio).
+package multiqueue
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/exactheap"
+)
+
+// DefaultQueueFactor is the default ratio of sub-queues to worker threads in
+// the concurrent MultiQueue, matching the paper's experimental setup.
+const DefaultQueueFactor = 4
+
+// Sequential is the single-threaded MultiQueue model. It is the scheduler the
+// paper's synthetic simulations (Table 1) use.
+type Sequential struct {
+	queues []*exactheap.Heap
+	size   int
+	r      *rng.Rand
+}
+
+var _ sched.Scheduler = (*Sequential)(nil)
+
+// NewSequential returns a MultiQueue model with c sub-queues (values below 1
+// are treated as 1) using the given random source.
+func NewSequential(c, capacity int, r *rng.Rand) *Sequential {
+	if c < 1 {
+		c = 1
+	}
+	per := capacity/c + 1
+	queues := make([]*exactheap.Heap, c)
+	for i := range queues {
+		queues[i] = exactheap.New(per)
+	}
+	return &Sequential{queues: queues, r: r}
+}
+
+// SequentialFactory returns a sched.Factory producing MultiQueue models with
+// c sub-queues; each instance gets an independent random stream forked from r.
+func SequentialFactory(c int, r *rng.Rand) sched.Factory {
+	return func(capacity int) sched.Scheduler { return NewSequential(c, capacity, r.Fork()) }
+}
+
+// NumQueues returns the number of sub-queues.
+func (m *Sequential) NumQueues() int { return len(m.queues) }
+
+// Insert pushes the item into a uniformly random sub-queue.
+func (m *Sequential) Insert(it sched.Item) {
+	q := m.queues[m.r.Intn(len(m.queues))]
+	q.Insert(it)
+	m.size++
+}
+
+// ApproxGetMin samples two distinct random sub-queues and pops from the one
+// with the smaller minimum. Empty sampled queues fall back to a linear scan
+// so the operation only fails when the whole MultiQueue is empty.
+func (m *Sequential) ApproxGetMin() (sched.Item, bool) {
+	if m.size == 0 {
+		return sched.Item{}, false
+	}
+	c := len(m.queues)
+	var chosen *exactheap.Heap
+	if c == 1 {
+		chosen = m.queues[0]
+	} else {
+		i := m.r.Intn(c)
+		j := m.r.Intn(c - 1)
+		if j >= i {
+			j++
+		}
+		qi, qj := m.queues[i], m.queues[j]
+		ti, oki := qi.Peek()
+		tj, okj := qj.Peek()
+		switch {
+		case oki && okj:
+			if ti.Less(tj) {
+				chosen = qi
+			} else {
+				chosen = qj
+			}
+		case oki:
+			chosen = qi
+		case okj:
+			chosen = qj
+		}
+	}
+	if chosen == nil || chosen.Empty() {
+		// Both sampled queues were empty; scan for any non-empty queue.
+		for _, q := range m.queues {
+			if !q.Empty() {
+				chosen = q
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		return sched.Item{}, false
+	}
+	it, ok := chosen.ApproxGetMin()
+	if ok {
+		m.size--
+	}
+	return it, ok
+}
+
+// Len returns the number of held items.
+func (m *Sequential) Len() int { return m.size }
+
+// Empty reports whether the MultiQueue is empty.
+func (m *Sequential) Empty() bool { return m.size == 0 }
+
+// emptyHint is the atomic min-priority hint of an empty sub-queue. It packs
+// (priority, task) so hints are comparable with Item.Less semantics.
+const emptyHint = math.MaxUint64
+
+func packItem(it sched.Item) uint64 {
+	return uint64(it.Priority)<<32 | uint64(uint32(it.Task))
+}
+
+// Concurrent is the thread-safe MultiQueue. Every sub-queue has its own
+// mutex-protected heap and an atomic hint of its current minimum so that
+// ApproxGetMin can compare two queues without locking either.
+type Concurrent struct {
+	queues []concurrentSubqueue
+	size   atomic.Int64
+	seed   atomic.Uint64
+	rands  sync.Pool
+}
+
+type concurrentSubqueue struct {
+	mu   sync.Mutex
+	heap *exactheap.Heap
+	top  atomic.Uint64 // packed min item, emptyHint when empty
+	_    [4]uint64     // padding to keep sub-queues on separate cache lines
+}
+
+var _ sched.Concurrent = (*Concurrent)(nil)
+
+// NewConcurrent returns a concurrent MultiQueue with c sub-queues (values
+// below 2 are raised to 2, since two-choice sampling needs at least two
+// queues to make sense and a single queue would serialize completely).
+func NewConcurrent(c, capacity int, seed uint64) *Concurrent {
+	if c < 2 {
+		c = 2
+	}
+	mq := &Concurrent{queues: make([]concurrentSubqueue, c)}
+	per := capacity/c + 1
+	for i := range mq.queues {
+		mq.queues[i].heap = exactheap.New(per)
+		mq.queues[i].top.Store(emptyHint)
+	}
+	mq.seed.Store(seed)
+	mq.rands.New = func() any {
+		s := mq.seed.Add(0x9e3779b97f4a7c15)
+		return rng.New(s)
+	}
+	return mq
+}
+
+// ConcurrentFactory returns a sched.ConcurrentFactory producing MultiQueues
+// with queueFactor sub-queues per worker (the paper uses 4).
+func ConcurrentFactory(queueFactor int, seed uint64) sched.ConcurrentFactory {
+	if queueFactor < 1 {
+		queueFactor = DefaultQueueFactor
+	}
+	return func(capacity, workers int) sched.Concurrent {
+		if workers < 1 {
+			workers = 1
+		}
+		return NewConcurrent(queueFactor*workers, capacity, seed)
+	}
+}
+
+// NumQueues returns the number of sub-queues.
+func (m *Concurrent) NumQueues() int { return len(m.queues) }
+
+// Insert pushes the item into a uniformly random sub-queue.
+func (m *Concurrent) Insert(it sched.Item) {
+	r := m.rands.Get().(*rng.Rand)
+	idx := r.Intn(len(m.queues))
+	m.rands.Put(r)
+	q := &m.queues[idx]
+	q.mu.Lock()
+	q.heap.Insert(it)
+	if top, ok := q.heap.Peek(); ok {
+		q.top.Store(packItem(top))
+	}
+	q.mu.Unlock()
+	m.size.Add(1)
+}
+
+// ApproxGetMin samples two distinct sub-queues, compares their atomic
+// min-hints, and pops from the better one. If the chosen queue is locked or
+// turns out to be empty it retries with a fresh sample; after enough failed
+// attempts it falls back to scanning all queues under their locks, so a false
+// return strongly indicates the MultiQueue is (momentarily) empty.
+func (m *Concurrent) ApproxGetMin() (sched.Item, bool) {
+	if m.size.Load() == 0 {
+		return sched.Item{}, false
+	}
+	r := m.rands.Get().(*rng.Rand)
+	defer m.rands.Put(r)
+
+	c := len(m.queues)
+	const maxAttempts = 8
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		i := r.Intn(c)
+		j := r.Intn(c - 1)
+		if j >= i {
+			j++
+		}
+		ti := m.queues[i].top.Load()
+		tj := m.queues[j].top.Load()
+		idx := i
+		if tj < ti {
+			idx = j
+		} else if ti == emptyHint && tj == emptyHint {
+			continue
+		}
+		if it, ok := m.tryPop(idx); ok {
+			return it, true
+		}
+	}
+	// Fall back to a full scan so callers only see false when the structure
+	// really had nothing to give.
+	for idx := range m.queues {
+		if it, ok := m.popLocked(idx); ok {
+			return it, true
+		}
+	}
+	return sched.Item{}, false
+}
+
+func (m *Concurrent) tryPop(idx int) (sched.Item, bool) {
+	q := &m.queues[idx]
+	if !q.mu.TryLock() {
+		return sched.Item{}, false
+	}
+	defer q.mu.Unlock()
+	return m.popFrom(q)
+}
+
+func (m *Concurrent) popLocked(idx int) (sched.Item, bool) {
+	q := &m.queues[idx]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return m.popFrom(q)
+}
+
+func (m *Concurrent) popFrom(q *concurrentSubqueue) (sched.Item, bool) {
+	it, ok := q.heap.ApproxGetMin()
+	if !ok {
+		q.top.Store(emptyHint)
+		return sched.Item{}, false
+	}
+	if top, topOK := q.heap.Peek(); topOK {
+		q.top.Store(packItem(top))
+	} else {
+		q.top.Store(emptyHint)
+	}
+	m.size.Add(-1)
+	return it, true
+}
+
+// Len returns the approximate number of held items.
+func (m *Concurrent) Len() int { return int(m.size.Load()) }
+
+// Empty reports whether the MultiQueue is (approximately) empty.
+func (m *Concurrent) Empty() bool { return m.size.Load() == 0 }

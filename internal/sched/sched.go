@@ -1,0 +1,70 @@
+// Package sched defines the scheduler abstraction at the heart of the paper:
+// a priority scheduler holding ⟨task, priority⟩ pairs that supports Insert,
+// ApproxGetMin and Empty, where ApproxGetMin may return tasks out of priority
+// order ("relaxed" semantics).
+//
+// The paper models relaxation with two exponential tail bounds (Definition 1):
+// a rank bound — Pr[rank(t) ≥ ℓ] ≤ exp(-ℓ/k) — and a fairness bound —
+// Pr[inv(u) ≥ ℓ] ≤ exp(-ℓ/φ). Sub-packages provide the concrete schedulers
+// the paper discusses: an exact binary heap (k = 1), the canonical
+// uniform-top-k queue, the MultiQueue, the SprayList, a deterministic
+// k-bounded queue, and a fetch-and-add FIFO used as the exact concurrent
+// baseline. This package also provides Instrumented, a wrapper that measures
+// empirical rank error and priority inversions so tests can check the model's
+// tail bounds, and Locked, an adapter that makes any sequential scheduler
+// safe for concurrent use.
+package sched
+
+// Item is a ⟨task, priority⟩ pair held by a scheduler. Lower Priority values
+// are "better": an exact scheduler always returns the live item with the
+// smallest Priority. Task is an opaque id (typically a vertex index).
+type Item struct {
+	Task     int32
+	Priority uint32
+}
+
+// Less reports whether i has strictly higher scheduling priority than o
+// (i.e. a smaller Priority value, ties broken by Task id so orderings are
+// total and deterministic).
+func (i Item) Less(o Item) bool {
+	if i.Priority != o.Priority {
+		return i.Priority < o.Priority
+	}
+	return i.Task < o.Task
+}
+
+// Scheduler is the sequential-model interface of a (possibly relaxed)
+// priority scheduler. Implementations need not be safe for concurrent use;
+// wrap them in Locked or use a Concurrent implementation for multi-threaded
+// executions.
+type Scheduler interface {
+	// Insert adds an item to the scheduler.
+	Insert(Item)
+	// ApproxGetMin removes and returns an item. An exact scheduler returns
+	// the minimum-priority item; a k-relaxed scheduler may return an item of
+	// rank up to ~k. The second result is false if the scheduler is empty.
+	ApproxGetMin() (Item, bool)
+	// Len returns the number of items currently held.
+	Len() int
+	// Empty reports whether the scheduler holds no items.
+	Empty() bool
+}
+
+// Concurrent is the interface of schedulers that are safe for concurrent use
+// by multiple goroutines. A false result from ApproxGetMin means "nothing
+// found right now" and is not a reliable emptiness signal under concurrency;
+// executors track outstanding work independently.
+type Concurrent interface {
+	Insert(Item)
+	ApproxGetMin() (Item, bool)
+}
+
+// Factory constructs a fresh sequential-model scheduler sized for
+// approximately capacity items. The simulation and benchmark harnesses use
+// factories so a single experiment definition can sweep scheduler families
+// and relaxation parameters.
+type Factory func(capacity int) Scheduler
+
+// ConcurrentFactory constructs a fresh concurrent scheduler sized for
+// approximately capacity items and the given number of worker goroutines.
+type ConcurrentFactory func(capacity, workers int) Concurrent

@@ -1,0 +1,196 @@
+// Package spraylist implements the SprayList of Alistarh, Kopinsky, Li and
+// Shavit (PPoPP'15, reference [3] of the paper): a skiplist-based relaxed
+// priority queue whose DeleteMin performs a random descending walk (a
+// "spray") from the head so that, instead of everyone contending on the
+// minimum, each call lands approximately uniformly among the O(k · polylog k)
+// smallest elements.
+//
+// Faithful to the original design, deletion is logical: a sprayed node is
+// marked deleted but remains in the skiplist for navigation, and nodes are
+// physically unlinked only once they form a dead prefix at the front of the
+// list. This matters — physically removing sprayed nodes from the middle
+// would preferentially tear down tall towers (sprays are more likely to land
+// on nodes they used for navigation), eroding the express lanes and blowing
+// up the spray's reach. A small fraction (1/k) of calls act as "cleaners" and
+// remove the exact minimum, which prevents low-priority stragglers from
+// being skipped indefinitely, again mirroring the original SprayList.
+//
+// This package provides the sequential-model SprayList used by the
+// simulations and ablations; wrap it in sched.Locked to share it between
+// goroutines.
+package spraylist
+
+import (
+	"math/bits"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+const maxLevel = 32
+
+type node struct {
+	item sched.Item
+	next []*node
+	dead bool
+}
+
+// List is a sequential-model SprayList.
+type List struct {
+	head     *node // sentinel; head.next[l] is the first node at level l
+	level    int   // highest level currently in use (0-based)
+	k        int
+	sprayTop int // highest level a spray starts from
+	jumpMax  int // maximum forward steps per level during a spray
+	r        *rng.Rand
+	size     int // live (not logically deleted) nodes
+}
+
+var _ sched.Scheduler = (*List)(nil)
+
+// New returns a SprayList with spray width parameter k (values below 1 are
+// treated as 1, which makes every DeleteMin exact).
+func New(k int, r *rng.Rand) *List {
+	if k < 1 {
+		k = 1
+	}
+	logK := bits.Len(uint(k)) - 1
+	jump := logK + 1
+	return &List{
+		head:     &node{next: make([]*node, maxLevel)},
+		level:    0,
+		k:        k,
+		sprayTop: logK,
+		jumpMax:  jump,
+		r:        r,
+	}
+}
+
+// Factory returns a sched.Factory producing SprayLists with the given spray
+// parameter; each instance gets an independent random stream forked from r.
+func Factory(k int, r *rng.Rand) sched.Factory {
+	return func(capacity int) sched.Scheduler { return New(k, r.Fork()) }
+}
+
+// K returns the spray width parameter.
+func (l *List) K() int { return l.k }
+
+// Len returns the number of live items.
+func (l *List) Len() int { return l.size }
+
+// Empty reports whether the list holds no live items.
+func (l *List) Empty() bool { return l.size == 0 }
+
+// randomLevel returns a tower height with geometric distribution (p = 1/2).
+func (l *List) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && l.r.Uint64()&1 == 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// Insert adds an item at its sorted position.
+func (l *List) Insert(it sched.Item) {
+	var update [maxLevel]*node
+	cur := l.head
+	for lvl := l.level; lvl >= 0; lvl-- {
+		for cur.next[lvl] != nil && cur.next[lvl].item.Less(it) {
+			cur = cur.next[lvl]
+		}
+		update[lvl] = cur
+	}
+	height := l.randomLevel()
+	if height-1 > l.level {
+		for lvl := l.level + 1; lvl < height; lvl++ {
+			update[lvl] = l.head
+		}
+		l.level = height - 1
+	}
+	n := &node{item: it, next: make([]*node, height)}
+	for lvl := 0; lvl < height; lvl++ {
+		n.next[lvl] = update[lvl].next[lvl]
+		update[lvl].next[lvl] = n
+	}
+	l.size++
+}
+
+// ApproxGetMin sprays into the head of the list, logically deletes the live
+// node it lands on, and returns its item. With probability 1/k the call acts
+// as a cleaner and removes the exact minimum instead.
+func (l *List) ApproxGetMin() (sched.Item, bool) {
+	if l.size == 0 {
+		return sched.Item{}, false
+	}
+	var target *node
+	if l.k == 1 || l.r.Intn(l.k) == 0 {
+		target = l.firstLive()
+	} else {
+		target = l.spray()
+	}
+	target.dead = true
+	l.size--
+	l.collectPrefix()
+	return target.item, true
+}
+
+// firstLive returns the first non-deleted node. It must only be called when
+// size > 0.
+func (l *List) firstLive() *node {
+	for cur := l.head.next[0]; cur != nil; cur = cur.next[0] {
+		if !cur.dead {
+			return cur
+		}
+	}
+	// Unreachable when size > 0; return the first node defensively.
+	return l.head.next[0]
+}
+
+// spray performs the random descending walk and returns a live node near the
+// front of the list.
+func (l *List) spray() *node {
+	start := l.sprayTop
+	if start > l.level {
+		start = l.level
+	}
+	cur := l.head
+	for lvl := start; lvl >= 0; lvl-- {
+		steps := l.r.Intn(l.jumpMax + 1)
+		for s := 0; s < steps; s++ {
+			if cur.next[lvl] == nil {
+				break
+			}
+			cur = cur.next[lvl]
+		}
+	}
+	// Advance past the sentinel and any logically deleted nodes so the
+	// result is always a live node; wrap to the first live node if the walk
+	// ran off the populated prefix.
+	if cur == l.head {
+		cur = l.head.next[0]
+	}
+	for cur != nil && cur.dead {
+		cur = cur.next[0]
+	}
+	if cur == nil {
+		return l.firstLive()
+	}
+	return cur
+}
+
+// collectPrefix physically unlinks the run of logically deleted nodes at the
+// front of the list. A node at the very front is the first node at every
+// level it appears in, so unlinking is a constant number of pointer moves per
+// node and never disturbs towers deeper in the list.
+func (l *List) collectPrefix() {
+	for first := l.head.next[0]; first != nil && first.dead; first = l.head.next[0] {
+		for lvl := 0; lvl < len(first.next); lvl++ {
+			if l.head.next[lvl] == first {
+				l.head.next[lvl] = first.next[lvl]
+			}
+		}
+	}
+	for l.level > 0 && l.head.next[l.level] == nil {
+		l.level--
+	}
+}

@@ -1,0 +1,158 @@
+package spraylist
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func TestExactWhenKOne(t *testing.T) {
+	l := New(1, rng.New(1))
+	prios := []uint32{8, 3, 5, 1, 9, 0}
+	for i, p := range prios {
+		l.Insert(sched.Item{Task: int32(i), Priority: p})
+	}
+	sorted := append([]uint32(nil), prios...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, want := range sorted {
+		it, ok := l.ApproxGetMin()
+		if !ok || it.Priority != want {
+			t.Fatalf("k=1 SprayList returned %v, want %d", it, want)
+		}
+	}
+	if !l.Empty() {
+		t.Fatal("list not empty after drain")
+	}
+}
+
+func TestKClamped(t *testing.T) {
+	if New(0, rng.New(1)).K() != 1 {
+		t.Fatal("k not clamped")
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	l := New(8, rng.New(2))
+	if _, ok := l.ApproxGetMin(); ok {
+		t.Fatal("empty list returned an item")
+	}
+	if l.Len() != 0 || !l.Empty() {
+		t.Fatal("empty list misreports size")
+	}
+}
+
+func TestNoLossNoDuplication(t *testing.T) {
+	const n = 3000
+	l := New(16, rng.New(3))
+	perm := rng.New(4).Perm(n)
+	for i, p := range perm {
+		l.Insert(sched.Item{Task: int32(i), Priority: uint32(p)})
+	}
+	if l.Len() != n {
+		t.Fatalf("Len = %d, want %d", l.Len(), n)
+	}
+	seen := make([]bool, n)
+	count := 0
+	for {
+		it, ok := l.ApproxGetMin()
+		if !ok {
+			break
+		}
+		if seen[it.Task] {
+			t.Fatalf("task %d returned twice", it.Task)
+		}
+		seen[it.Task] = true
+		count++
+	}
+	if count != n {
+		t.Fatalf("drained %d, want %d", count, n)
+	}
+}
+
+func TestSprayRelaxationBounded(t *testing.T) {
+	// The empirical mean rank must be modest (order k) and far below n.
+	const n = 5000
+	const k = 16
+	inner := New(k, rng.New(5))
+	l := sched.NewInstrumented(inner, n)
+	for i := 0; i < n; i++ {
+		l.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	for {
+		if _, ok := l.ApproxGetMin(); !ok {
+			break
+		}
+	}
+	m := l.Metrics()
+	if m.Removals != n {
+		t.Fatalf("removals = %d, want %d", m.Removals, n)
+	}
+	if m.MeanRank > 8*k {
+		t.Fatalf("mean rank %.1f too large for k=%d", m.MeanRank, k)
+	}
+	if m.MaxRank > n/5 {
+		t.Fatalf("max rank %d suspiciously close to n", m.MaxRank)
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		l := New(1+r.Intn(8), r.Fork())
+		live := make(map[uint32]int32)
+		nextTask := int32(0)
+		nextPrio := uint32(0)
+		for op := 0; op < 500; op++ {
+			if len(live) == 0 || r.Intn(3) != 0 {
+				p := nextPrio
+				nextPrio++
+				l.Insert(sched.Item{Task: nextTask, Priority: p})
+				live[p] = nextTask
+				nextTask++
+				continue
+			}
+			it, ok := l.ApproxGetMin()
+			if !ok {
+				return false
+			}
+			want, exists := live[it.Priority]
+			if !exists || want != it.Task {
+				return false
+			}
+			delete(live, it.Priority)
+		}
+		// Drain and verify sizes agree.
+		for {
+			if _, ok := l.ApproxGetMin(); !ok {
+				break
+			}
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockedWrapperMakesItConcurrent(t *testing.T) {
+	var s sched.Concurrent = sched.NewLocked(New(4, rng.New(9)))
+	s.Insert(sched.Item{Task: 1, Priority: 2})
+	if _, ok := s.ApproxGetMin(); !ok {
+		t.Fatal("locked spraylist lost its item")
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	l := New(8, rng.New(1))
+	for i := 0; i < 4096; i++ {
+		l.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, _ := l.ApproxGetMin()
+		l.Insert(it)
+	}
+}

@@ -1,0 +1,84 @@
+// Package topk implements the paper's "canonical" k-relaxed scheduler: every
+// ApproxGetMin returns an item chosen uniformly at random among the k
+// smallest-priority live items (or among all live items if fewer than k
+// remain). The rank of a returned item is therefore never larger than k, and
+// an item of rank 1 is returned with probability at least 1/k, which is the
+// idealized model the paper's analysis (Section 3) is phrased against.
+package topk
+
+import (
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/exactheap"
+)
+
+// Queue is a sequential-model uniform top-k relaxed scheduler.
+type Queue struct {
+	heap    *exactheap.Heap
+	k       int
+	r       *rng.Rand
+	scratch []sched.Item
+}
+
+var _ sched.Scheduler = (*Queue)(nil)
+
+// New returns a top-k queue with relaxation factor k (values below 1 are
+// treated as 1, i.e. an exact queue) using the given random source.
+func New(k, capacity int, r *rng.Rand) *Queue {
+	if k < 1 {
+		k = 1
+	}
+	return &Queue{
+		heap:    exactheap.New(capacity),
+		k:       k,
+		r:       r,
+		scratch: make([]sched.Item, 0, k),
+	}
+}
+
+// Factory returns a sched.Factory producing top-k queues with the given
+// relaxation factor; each queue gets an independent random stream forked from
+// r.
+func Factory(k int, r *rng.Rand) sched.Factory {
+	return func(capacity int) sched.Scheduler { return New(k, capacity, r.Fork()) }
+}
+
+// K returns the relaxation factor.
+func (q *Queue) K() int { return q.k }
+
+// Insert adds an item.
+func (q *Queue) Insert(it sched.Item) { q.heap.Insert(it) }
+
+// ApproxGetMin removes and returns an item chosen uniformly among the top-k
+// live items.
+func (q *Queue) ApproxGetMin() (sched.Item, bool) {
+	if q.heap.Empty() {
+		return sched.Item{}, false
+	}
+	limit := q.k
+	if l := q.heap.Len(); l < limit {
+		limit = l
+	}
+	q.scratch = q.scratch[:0]
+	for i := 0; i < limit; i++ {
+		it, ok := q.heap.ApproxGetMin()
+		if !ok {
+			break
+		}
+		q.scratch = append(q.scratch, it)
+	}
+	pick := q.r.Intn(len(q.scratch))
+	chosen := q.scratch[pick]
+	for i, it := range q.scratch {
+		if i != pick {
+			q.heap.Insert(it)
+		}
+	}
+	return chosen, true
+}
+
+// Len returns the number of held items.
+func (q *Queue) Len() int { return q.heap.Len() }
+
+// Empty reports whether the queue is empty.
+func (q *Queue) Empty() bool { return q.heap.Empty() }

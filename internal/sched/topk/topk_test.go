@@ -1,0 +1,154 @@
+package topk
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func TestExactWhenKIsOne(t *testing.T) {
+	q := New(1, 16, rng.New(1))
+	prios := []uint32{7, 2, 9, 4, 0, 5}
+	for i, p := range prios {
+		q.Insert(sched.Item{Task: int32(i), Priority: p})
+	}
+	sorted := append([]uint32(nil), prios...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, want := range sorted {
+		it, ok := q.ApproxGetMin()
+		if !ok || it.Priority != want {
+			t.Fatalf("k=1 queue returned %v, want priority %d", it, want)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestKClampedToOne(t *testing.T) {
+	q := New(0, 4, rng.New(1))
+	if q.K() != 1 {
+		t.Fatalf("K() = %d, want 1", q.K())
+	}
+	q2 := New(-5, 4, rng.New(1))
+	if q2.K() != 1 {
+		t.Fatalf("K() = %d, want 1", q2.K())
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := New(4, 0, rng.New(3))
+	if _, ok := q.ApproxGetMin(); ok {
+		t.Fatal("empty queue returned an item")
+	}
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("empty queue misreports size")
+	}
+}
+
+func TestRankNeverExceedsK(t *testing.T) {
+	const n = 200
+	const k = 8
+	q := New(k, n, rng.New(5))
+	live := make(map[uint32]bool, n)
+	for i := 0; i < n; i++ {
+		q.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+		live[uint32(i)] = true
+	}
+	for !q.Empty() {
+		it, ok := q.ApproxGetMin()
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		// Rank = 1 + number of live priorities smaller than the returned one.
+		rank := 1
+		for p := range live {
+			if p < it.Priority {
+				rank++
+			}
+		}
+		if rank > k {
+			t.Fatalf("returned item of rank %d > k=%d", rank, k)
+		}
+		delete(live, it.Priority)
+	}
+}
+
+func TestNoItemLostOrDuplicated(t *testing.T) {
+	const n = 500
+	q := New(16, n, rng.New(7))
+	for i := 0; i < n; i++ {
+		q.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	seen := make([]bool, n)
+	count := 0
+	for !q.Empty() {
+		it, ok := q.ApproxGetMin()
+		if !ok {
+			break
+		}
+		if seen[it.Task] {
+			t.Fatalf("task %d returned twice", it.Task)
+		}
+		seen[it.Task] = true
+		count++
+	}
+	if count != n {
+		t.Fatalf("drained %d items, inserted %d", count, n)
+	}
+}
+
+func TestUniformChoiceAmongTopK(t *testing.T) {
+	// With a static set of k items, each should be returned first with
+	// probability ~1/k.
+	const k = 4
+	const trials = 40000
+	counts := make(map[int32]int)
+	r := rng.New(11)
+	for trial := 0; trial < trials; trial++ {
+		q := New(k, k, r.Fork())
+		for i := int32(0); i < k; i++ {
+			q.Insert(sched.Item{Task: i, Priority: uint32(i)})
+		}
+		it, _ := q.ApproxGetMin()
+		counts[it.Task]++
+	}
+	expected := float64(trials) / k
+	for task, c := range counts {
+		dev := math.Abs(float64(c)-expected) / expected
+		if dev > 0.05 {
+			t.Fatalf("task %d chosen %d times, deviates %.1f%% from uniform", task, c, dev*100)
+		}
+	}
+}
+
+func TestReinsertionKeepsWorking(t *testing.T) {
+	q := New(4, 8, rng.New(13))
+	for i := 0; i < 8; i++ {
+		q.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	// Pop and reinsert repeatedly; the queue must neither lose items nor grow.
+	for round := 0; round < 100; round++ {
+		it, ok := q.ApproxGetMin()
+		if !ok {
+			t.Fatal("unexpected empty queue")
+		}
+		q.Insert(it)
+		if q.Len() != 8 {
+			t.Fatalf("length changed to %d after pop+reinsert", q.Len())
+		}
+	}
+}
+
+func TestFactoryProducesIndependentQueues(t *testing.T) {
+	f := Factory(4, rng.New(17))
+	a := f(8)
+	b := f(8)
+	a.Insert(sched.Item{Task: 1, Priority: 1})
+	if b.Len() != 0 {
+		t.Fatal("factory queues share state")
+	}
+}

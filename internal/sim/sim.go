@@ -1,0 +1,338 @@
+// Package sim is the sequential simulation harness behind the paper's
+// synthetic experiments: it measures the number of extra scheduler iterations
+// ("failed deletes") that relaxation causes when executing an iterative
+// algorithm through the framework, exactly the quantity reported in Table 1
+// and bounded by Theorems 1 and 2.
+//
+// A simulation cell fixes an algorithm, an input size (|V|, |E|), a scheduler
+// family, a relaxation factor k and a number of trials; each trial draws a
+// fresh random input and priority permutation, runs the relaxed framework,
+// and records the extra iterations. Sweeps over k, |V| and |E| reproduce
+// Table 1 (MIS with a MultiQueue) and validate the theorems' scaling claims
+// for the other algorithms.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relaxsched/internal/algos/coloring"
+	"relaxsched/internal/algos/listcontract"
+	"relaxsched/internal/algos/matching"
+	"relaxsched/internal/algos/mis"
+	"relaxsched/internal/algos/shuffle"
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/kbounded"
+	"relaxsched/internal/sched/multiqueue"
+	"relaxsched/internal/sched/spraylist"
+	"relaxsched/internal/sched/topk"
+	"relaxsched/internal/stats"
+)
+
+// Algorithm selects which iterative algorithm a simulation cell runs.
+type Algorithm string
+
+// Supported algorithms.
+const (
+	AlgMIS          Algorithm = "mis"
+	AlgMatching     Algorithm = "matching"
+	AlgColoring     Algorithm = "coloring"
+	AlgListContract Algorithm = "listcontract"
+	AlgShuffle      Algorithm = "shuffle"
+)
+
+// Algorithms lists the supported algorithms in a stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgMIS, AlgMatching, AlgColoring, AlgListContract, AlgShuffle}
+}
+
+// Scheduler selects which relaxed scheduler family a simulation cell uses.
+type Scheduler string
+
+// Supported scheduler families.
+const (
+	SchedMultiQueue Scheduler = "multiqueue"
+	SchedTopK       Scheduler = "topk"
+	SchedSprayList  Scheduler = "spraylist"
+	SchedKBounded   Scheduler = "kbounded"
+)
+
+// Schedulers lists the supported scheduler families in a stable order.
+func Schedulers() []Scheduler {
+	return []Scheduler{SchedMultiQueue, SchedTopK, SchedSprayList, SchedKBounded}
+}
+
+// Config describes one simulation cell.
+type Config struct {
+	// Algorithm to execute (default AlgMIS).
+	Algorithm Algorithm
+	// Scheduler family to use (default SchedMultiQueue).
+	Scheduler Scheduler
+	// Vertices is |V| of the random input graph (or the number of list nodes
+	// / shuffle iterations for the non-graph algorithms).
+	Vertices int
+	// Edges is |E| of the random input graph. It is ignored by the list
+	// contraction and shuffle workloads, whose dependency structure is
+	// inherently sparse.
+	Edges int64
+	// K is the relaxation factor: the number of MultiQueue sub-queues, the
+	// top-k width, the spray parameter, or the k-bounded window.
+	K int
+	// Trials is the number of independent repetitions (fresh input and
+	// permutation each time). Default 1.
+	Trials int
+	// Seed makes the cell reproducible.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgMIS
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = SchedMultiQueue
+	}
+	if c.Trials <= 0 {
+		c.Trials = 1
+	}
+	if c.K < 1 {
+		c.K = 1
+	}
+	return c
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch c.Algorithm {
+	case AlgMIS, AlgMatching, AlgColoring, AlgListContract, AlgShuffle:
+	default:
+		return fmt.Errorf("sim: unknown algorithm %q", c.Algorithm)
+	}
+	switch c.Scheduler {
+	case SchedMultiQueue, SchedTopK, SchedSprayList, SchedKBounded:
+	default:
+		return fmt.Errorf("sim: unknown scheduler %q", c.Scheduler)
+	}
+	if c.Vertices <= 0 {
+		return fmt.Errorf("sim: vertex count must be positive, got %d", c.Vertices)
+	}
+	maxEdges := int64(c.Vertices) * int64(c.Vertices-1) / 2
+	if needsGraph(c.Algorithm) && (c.Edges < 0 || c.Edges > maxEdges) {
+		return fmt.Errorf("sim: edge count %d invalid for %d vertices", c.Edges, c.Vertices)
+	}
+	return nil
+}
+
+func needsGraph(a Algorithm) bool {
+	return a == AlgMIS || a == AlgMatching || a == AlgColoring
+}
+
+// CellResult is the outcome of one simulation cell.
+type CellResult struct {
+	Config Config
+	// ExtraIterations summarizes iterations beyond the unavoidable one per
+	// task across trials — the quantity in Table 1.
+	ExtraIterations stats.Summary
+	// FailedDeletes summarizes re-insertions due to blocked tasks.
+	FailedDeletes stats.Summary
+	// DeadSkips summarizes deliveries of dead tasks (MIS/matching only).
+	DeadSkips stats.Summary
+	// Tasks is the number of framework tasks per trial (|V| for vertex
+	// algorithms, |E| for matching).
+	Tasks int
+}
+
+// schedulerFactory builds the sequential-model scheduler for a cell.
+func schedulerFactory(kind Scheduler, k int, r *rng.Rand) sched.Factory {
+	switch kind {
+	case SchedTopK:
+		return topk.Factory(k, r)
+	case SchedSprayList:
+		return spraylist.Factory(k, r)
+	case SchedKBounded:
+		return kbounded.Factory(k)
+	default:
+		return multiqueue.SequentialFactory(k, r)
+	}
+}
+
+// RunCell runs one simulation cell and returns its aggregated result.
+func RunCell(cfg Config) (CellResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return CellResult{}, err
+	}
+	r := rng.New(cfg.Seed ^ 0x5eed5eed5eed5eed)
+	factory := schedulerFactory(cfg.Scheduler, cfg.K, r.Fork())
+
+	extras := make([]float64, 0, cfg.Trials)
+	failed := make([]float64, 0, cfg.Trials)
+	skips := make([]float64, 0, cfg.Trials)
+	tasks := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		res, numTasks, err := runTrial(cfg, r, factory)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("sim: trial %d: %w", trial, err)
+		}
+		tasks = numTasks
+		extras = append(extras, float64(res.ExtraIterations()))
+		failed = append(failed, float64(res.FailedDeletes))
+		skips = append(skips, float64(res.DeadSkips))
+	}
+	return CellResult{
+		Config:          cfg,
+		ExtraIterations: stats.Summarize(extras),
+		FailedDeletes:   stats.Summarize(failed),
+		DeadSkips:       stats.Summarize(skips),
+		Tasks:           tasks,
+	}, nil
+}
+
+// runTrial draws a fresh input and permutation and executes one relaxed run.
+func runTrial(cfg Config, r *rng.Rand, factory sched.Factory) (core.Result, int, error) {
+	switch cfg.Algorithm {
+	case AlgListContract:
+		n := cfg.Vertices
+		p := listcontract.NewRandomList(n, r)
+		labels := core.RandomLabels(n, r)
+		_, _, res, err := listcontract.RunRelaxed(p, labels, factory(n))
+		return res, n, err
+	case AlgShuffle:
+		n := cfg.Vertices
+		targets := shuffle.RandomTargets(n, r)
+		_, res, err := shuffle.RunRelaxed(targets, factory(n))
+		return res, n, err
+	}
+
+	g, err := graph.GNM(cfg.Vertices, cfg.Edges, r)
+	if err != nil {
+		return core.Result{}, 0, err
+	}
+	switch cfg.Algorithm {
+	case AlgMIS:
+		labels := core.RandomLabels(g.NumVertices(), r)
+		_, res, err := mis.RunRelaxed(g, labels, factory(g.NumVertices()))
+		return res, g.NumVertices(), err
+	case AlgMatching:
+		m := int(g.NumEdges())
+		labels := core.RandomLabels(m, r)
+		_, res, err := matching.RunRelaxed(g, labels, factory(m))
+		return res, m, err
+	case AlgColoring:
+		labels := core.RandomLabels(g.NumVertices(), r)
+		_, res, err := coloring.RunRelaxed(g, labels, factory(g.NumVertices()))
+		return res, g.NumVertices(), err
+	default:
+		return core.Result{}, 0, fmt.Errorf("sim: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+// Size is an input-size cell of a sweep.
+type Size struct {
+	Vertices int
+	Edges    int64
+}
+
+// Table1Sizes returns the |V| x |E| grid used by the paper's Table 1.
+func Table1Sizes() []Size {
+	return []Size{
+		{Vertices: 1000, Edges: 10000},
+		{Vertices: 1000, Edges: 30000},
+		{Vertices: 1000, Edges: 100000},
+		{Vertices: 10000, Edges: 10000},
+		{Vertices: 10000, Edges: 30000},
+		{Vertices: 10000, Edges: 100000},
+	}
+}
+
+// Table1Ks returns the relaxation factors of the paper's Table 1.
+func Table1Ks() []int { return []int{4, 8, 16, 32, 64} }
+
+// Sweep runs a full grid of cells (every size crossed with every k) for one
+// algorithm/scheduler pair.
+func Sweep(alg Algorithm, schedKind Scheduler, sizes []Size, ks []int, trials int, seed uint64) ([]CellResult, error) {
+	results := make([]CellResult, 0, len(sizes)*len(ks))
+	for _, size := range sizes {
+		for _, k := range ks {
+			cell, err := RunCell(Config{
+				Algorithm: alg,
+				Scheduler: schedKind,
+				Vertices:  size.Vertices,
+				Edges:     size.Edges,
+				K:         k,
+				Trials:    trials,
+				Seed:      seed ^ uint64(size.Vertices)<<32 ^ uint64(size.Edges) ^ uint64(k)<<16,
+			})
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, cell)
+		}
+	}
+	return results, nil
+}
+
+// FormatTable renders sweep results in the layout of the paper's Table 1:
+// one row per (|V|, |E|) pair, one column per relaxation factor k, each cell
+// holding the mean number of extra iterations.
+func FormatTable(results []CellResult) string {
+	if len(results) == 0 {
+		return "(no results)\n"
+	}
+	ks := make([]int, 0)
+	seenK := make(map[int]bool)
+	type rowKey struct {
+		v int
+		e int64
+	}
+	rowOrder := make([]rowKey, 0)
+	seenRow := make(map[rowKey]bool)
+	cells := make(map[rowKey]map[int]float64)
+	for _, res := range results {
+		k := res.Config.K
+		if !seenK[k] {
+			seenK[k] = true
+			ks = append(ks, k)
+		}
+		rk := rowKey{v: res.Config.Vertices, e: res.Config.Edges}
+		if !seenRow[rk] {
+			seenRow[rk] = true
+			rowOrder = append(rowOrder, rk)
+		}
+		if cells[rk] == nil {
+			cells[rk] = make(map[int]float64)
+		}
+		cells[rk][k] = res.ExtraIterations.Mean
+	}
+	sort.Ints(ks)
+	sort.Slice(rowOrder, func(i, j int) bool {
+		if rowOrder[i].v != rowOrder[j].v {
+			return rowOrder[i].v < rowOrder[j].v
+		}
+		return rowOrder[i].e < rowOrder[j].e
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-12s", "|V|", "|E|")
+	for _, k := range ks {
+		fmt.Fprintf(&b, " k=%-10d", k)
+	}
+	b.WriteString("\n")
+	for _, rk := range rowOrder {
+		fmt.Fprintf(&b, "%-10d %-12d", rk.v, rk.e)
+		for _, k := range ks {
+			if val, ok := cells[rk][k]; ok {
+				fmt.Fprintf(&b, " %-12.1f", val)
+			} else {
+				fmt.Fprintf(&b, " %-12s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

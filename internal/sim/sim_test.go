@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"defaults applied", Config{Vertices: 100, Edges: 200}, true},
+		{"explicit mis multiqueue", Config{Algorithm: AlgMIS, Scheduler: SchedMultiQueue, Vertices: 50, Edges: 100, K: 4}, true},
+		{"listcontract ignores edges", Config{Algorithm: AlgListContract, Vertices: 50, Edges: -5}, true},
+		{"unknown algorithm", Config{Algorithm: "foo", Vertices: 10, Edges: 5}, false},
+		{"unknown scheduler", Config{Scheduler: "bar", Vertices: 10, Edges: 5}, false},
+		{"zero vertices", Config{Vertices: 0, Edges: 0}, false},
+		{"too many edges", Config{Vertices: 10, Edges: 100}, false},
+		{"negative edges graph alg", Config{Algorithm: AlgColoring, Vertices: 10, Edges: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestEnumerations(t *testing.T) {
+	if len(Algorithms()) != 5 {
+		t.Fatalf("Algorithms() has %d entries", len(Algorithms()))
+	}
+	if len(Schedulers()) != 4 {
+		t.Fatalf("Schedulers() has %d entries", len(Schedulers()))
+	}
+	if len(Table1Sizes()) != 6 || len(Table1Ks()) != 5 {
+		t.Fatal("Table 1 grid dimensions wrong")
+	}
+}
+
+func TestRunCellMISProducesSaneNumbers(t *testing.T) {
+	cell, err := RunCell(Config{
+		Algorithm: AlgMIS,
+		Scheduler: SchedMultiQueue,
+		Vertices:  1000,
+		Edges:     10000,
+		K:         8,
+		Trials:    2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Tasks != 1000 {
+		t.Fatalf("Tasks = %d, want 1000", cell.Tasks)
+	}
+	if cell.ExtraIterations.N != 2 {
+		t.Fatalf("trials recorded = %d, want 2", cell.ExtraIterations.N)
+	}
+	if cell.ExtraIterations.Mean < 0 {
+		t.Fatalf("negative extra iterations %v", cell.ExtraIterations.Mean)
+	}
+	// Theorem 2: for MIS the overhead is poly(k), so it must stay well below
+	// n even for this moderately dense graph.
+	if cell.ExtraIterations.Mean > 1000 {
+		t.Fatalf("extra iterations %.1f exceed n", cell.ExtraIterations.Mean)
+	}
+}
+
+func TestRunCellAllAlgorithmsAndSchedulers(t *testing.T) {
+	for _, alg := range Algorithms() {
+		for _, sk := range Schedulers() {
+			cfg := Config{
+				Algorithm: alg,
+				Scheduler: sk,
+				Vertices:  200,
+				Edges:     600,
+				K:         8,
+				Trials:    1,
+				Seed:      7,
+			}
+			cell, err := RunCell(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", alg, sk, err)
+			}
+			if cell.Tasks <= 0 {
+				t.Fatalf("%s/%s: no tasks recorded", alg, sk)
+			}
+			if cell.ExtraIterations.Mean < 0 {
+				t.Fatalf("%s/%s: negative extra iterations", alg, sk)
+			}
+		}
+	}
+}
+
+func TestRunCellExactWhenKOne(t *testing.T) {
+	// With k = 1 every scheduler family degenerates to an exact queue and
+	// there must be no extra iterations at all.
+	for _, sk := range Schedulers() {
+		cell, err := RunCell(Config{
+			Algorithm: AlgColoring,
+			Scheduler: sk,
+			Vertices:  300,
+			Edges:     900,
+			K:         1,
+			Trials:    1,
+			Seed:      3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sk, err)
+		}
+		if cell.ExtraIterations.Mean != 0 {
+			t.Fatalf("%s: k=1 produced %.1f extra iterations", sk, cell.ExtraIterations.Mean)
+		}
+	}
+}
+
+func TestRunCellRejectsInvalidConfig(t *testing.T) {
+	if _, err := RunCell(Config{Vertices: -1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSweepAndFormatTable(t *testing.T) {
+	sizes := []Size{{Vertices: 200, Edges: 600}, {Vertices: 400, Edges: 600}}
+	ks := []int{2, 8}
+	results, err := Sweep(AlgMIS, SchedMultiQueue, sizes, ks, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("sweep produced %d cells, want 4", len(results))
+	}
+	table := FormatTable(results)
+	for _, want := range []string{"k=2", "k=8", "200", "400"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, table)
+		}
+	}
+	if FormatTable(nil) == "" {
+		t.Fatal("FormatTable(nil) returned empty string")
+	}
+}
+
+func TestMISOverheadScalesWithKNotN(t *testing.T) {
+	// Theorem 2's headline: the MIS relaxation overhead does not grow with
+	// the input size. Compare two graph sizes at fixed k; the larger graph's
+	// overhead must not be dramatically larger (allow generous slack for
+	// noise since these are single trials).
+	small, err := RunCell(Config{Algorithm: AlgMIS, Vertices: 1000, Edges: 5000, K: 16, Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunCell(Config{Algorithm: AlgMIS, Vertices: 8000, Edges: 40000, K: 16, Trials: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.ExtraIterations.Mean > 8*(small.ExtraIterations.Mean+50) {
+		t.Fatalf("MIS overhead grew with n: %.1f (n=1000) vs %.1f (n=8000)",
+			small.ExtraIterations.Mean, large.ExtraIterations.Mean)
+	}
+}

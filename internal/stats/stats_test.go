@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"relaxsched/internal/rng"
+)
+
+func approxEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !approxEqual(got, tc.want, 1e-12) {
+				t.Fatalf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic example is 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !approxEqual(got, want, 1e-9) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !approxEqual(got, math.Sqrt(want), 1e-9) {
+		t.Fatalf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Fatalf("Variance of singleton = %v, want 0", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Fatalf("Variance of empty = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Fatalf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Fatalf("Max = %v, %v", mx, err)
+	}
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Min(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Max(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v) error: %v", tc.p, err)
+		}
+		if !approxEqual(got, tc.want, 1e-9) {
+			t.Fatalf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Percentile(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("Percentile(-1) did not error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("Percentile(101) did not error")
+	}
+	got, err := Percentile([]float64{42}, 73)
+	if err != nil || got != 42 {
+		t.Fatalf("Percentile of singleton = %v, %v", got, err)
+	}
+	// Percentile must not mutate the input.
+	orig := []float64{5, 1, 3}
+	if _, err := Percentile(orig, 50); err != nil {
+		t.Fatal(err)
+	}
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Fatalf("Percentile mutated input: %v", orig)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || !approxEqual(s.Mean, 5.5, 1e-9) || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if !approxEqual(s.P50, 5.5, 1e-9) {
+		t.Fatalf("P50 = %v, want 5.5", s.P50)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", empty)
+	}
+	if s.String() == "" {
+		t.Fatal("String() returned empty")
+	}
+}
+
+func TestDurationsAndInts(t *testing.T) {
+	ds := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if len(ds) != 2 || !approxEqual(ds[0], 1.0, 1e-12) || !approxEqual(ds[1], 0.5, 1e-12) {
+		t.Fatalf("Durations = %v", ds)
+	}
+	is := Ints([]int64{3, -7, 0})
+	if len(is) != 3 || is[0] != 3 || is[1] != -7 || is[2] != 0 {
+		t.Fatalf("Ints = %v", is)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(500)
+		xs := make([]float64, n)
+		var acc Accumulator
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+			acc.Add(xs[i])
+		}
+		if acc.N() != int64(n) {
+			return false
+		}
+		if !approxEqual(acc.Mean(), Mean(xs), 1e-8) {
+			return false
+		}
+		if !approxEqual(acc.Variance(), Variance(xs), 1e-6) {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return acc.Min() == mn && acc.Max() == mx
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var acc Accumulator
+	if acc.N() != 0 || acc.Mean() != 0 || acc.Variance() != 0 || acc.StdDev() != 0 {
+		t.Fatal("zero accumulator not all-zero")
+	}
+	acc.Add(7)
+	if acc.N() != 1 || acc.Mean() != 7 || acc.Variance() != 0 || acc.Min() != 7 || acc.Max() != 7 {
+		t.Fatalf("single-sample accumulator wrong: %+v", acc)
+	}
+}
