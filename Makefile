@@ -1,0 +1,38 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race bench sweep fmt fmt-check vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled tests on the packages with real concurrency: the executors,
+# every scheduler family, and the end-to-end integration matrix.
+race:
+	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/integration/...
+
+# Repository-level benchmarks (one per table/figure of the paper).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Worker-scaling sweep: regenerates BENCH_concurrent.json (see EXPERIMENTS.md).
+sweep:
+	$(GO) run ./cmd/relaxbench -sweep -vertices 100000 -edges 1000000 -json BENCH_concurrent.json
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt-check vet build test race

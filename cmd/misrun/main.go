@@ -39,6 +39,7 @@ func run(args []string, out io.Writer) error {
 		mode    = fs.String("mode", "sequential", "execution mode: sequential, relaxed, concurrent, exact")
 		k       = fs.Int("k", 16, "relaxation factor for -mode relaxed (MultiQueue sub-queues)")
 		threads = fs.Int("threads", 4, "worker goroutines for -mode concurrent/exact")
+		batch   = fs.Int("batch", 0, "scheduler batch size for -mode concurrent/exact (0 = executor default)")
 		seed    = fs.Uint64("seed", 1, "random seed for the priority permutation")
 		verify  = fs.Bool("verify", true, "verify independence and maximality of the result")
 	)
@@ -77,14 +78,14 @@ func run(args []string, out io.Writer) error {
 		inSet, extra = set, res.ExtraIterations()
 	case "concurrent":
 		mq := multiqueue.NewConcurrent(multiqueue.DefaultQueueFactor**threads, g.NumVertices(), *seed)
-		set, res, runErr := mis.RunConcurrent(g, labels, mq, core.ConcurrentOptions{Workers: *threads})
+		set, res, runErr := mis.RunConcurrent(g, labels, mq, core.ConcurrentOptions{Workers: *threads, BatchSize: *batch})
 		if runErr != nil {
 			return runErr
 		}
 		inSet, extra = set, res.ExtraIterations()
 	case "exact":
 		q := faaqueue.New(g.NumVertices())
-		set, res, runErr := mis.RunConcurrent(g, labels, q, core.ConcurrentOptions{Workers: *threads, BlockedPolicy: core.Wait})
+		set, res, runErr := mis.RunConcurrent(g, labels, q, core.ConcurrentOptions{Workers: *threads, BlockedPolicy: core.Wait, BatchSize: *batch})
 		if runErr != nil {
 			return runErr
 		}

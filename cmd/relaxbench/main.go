@@ -7,11 +7,18 @@
 //
 // against the optimized sequential greedy MIS.
 //
+// With -sweep it instead runs the worker-scaling sweep: workers × batch
+// sizes × schedulers, reporting throughput per data point and writing the
+// machine-readable BENCH_concurrent.json that tracks the repository's
+// concurrent-performance trajectory.
+//
 // Examples:
 //
 //	relaxbench                       # all three classes, default thread sweep
 //	relaxbench -class sparse -trials 5
 //	relaxbench -vertices 100000 -edges 1000000 -threads 1,2,4
+//	relaxbench -sweep -class sparse  # scaling sweep, writes BENCH_concurrent.json
+//	relaxbench -sweep -batches 1,16,64 -json sweep.json
 package main
 
 import (
@@ -42,14 +49,18 @@ func run(args []string, out io.Writer) error {
 		threadsCSV  = fs.String("threads", "", "comma-separated thread counts (default: powers of two up to GOMAXPROCS)")
 		trials      = fs.Int("trials", 3, "trials per data point")
 		queueFactor = fs.Int("queue-factor", 4, "MultiQueue sub-queues per thread")
+		batch       = fs.Int("batch", 0, "executor batch size for panel runs (0 = executor default)")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		verify      = fs.Bool("verify", true, "check every parallel result against the sequential MIS")
+		sweep       = fs.Bool("sweep", false, "run the worker-scaling sweep (workers x batch sizes) instead of Figure 2 panels")
+		batchesCSV  = fs.String("batches", "", "comma-separated batch sizes for -sweep (default: 1,4,16,64)")
+		jsonPath    = fs.String("json", "BENCH_concurrent.json", "output path for the -sweep JSON report (empty: stdout table only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	threads, err := parseThreads(*threadsCSV)
+	threads, err := parseInts(*threadsCSV, "thread count")
 	if err != nil {
 		return err
 	}
@@ -68,6 +79,34 @@ func run(args []string, out io.Writer) error {
 		classes = bench.DefaultClasses()
 	}
 
+	if !*sweep && *batchesCSV != "" {
+		return fmt.Errorf("-batches requires -sweep (use -batch for a single panel batch size)")
+	}
+	if *sweep {
+		if *batch != 0 && *batchesCSV != "" {
+			return fmt.Errorf("-batch and -batches are mutually exclusive with -sweep")
+		}
+		batches, err := parseInts(*batchesCSV, "batch size")
+		if err != nil {
+			return err
+		}
+		if *batch != 0 {
+			if *batch < 1 {
+				return fmt.Errorf("invalid batch size %d", *batch)
+			}
+			batches = []int{*batch}
+		}
+		return runSweep(out, classes, bench.ScalingConfig{
+			Algorithm:   bench.Algorithm(*algo),
+			Workers:     threads,
+			BatchSizes:  batches,
+			Trials:      *trials,
+			QueueFactor: *queueFactor,
+			Seed:        *seed,
+			Verify:      *verify,
+		}, *jsonPath)
+	}
+
 	for _, class := range classes {
 		report, err := bench.Run(bench.Config{
 			Class:       class,
@@ -75,6 +114,7 @@ func run(args []string, out io.Writer) error {
 			Threads:     threads,
 			Trials:      *trials,
 			QueueFactor: *queueFactor,
+			BatchSize:   *batch,
 			Seed:        *seed,
 			Verify:      *verify,
 		})
@@ -88,7 +128,46 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func parseThreads(csv string) ([]int, error) {
+// runSweep executes the scaling sweep for every class, prints the table per
+// class, and writes all reports as one JSON array to jsonPath.
+func runSweep(out io.Writer, classes []bench.Class, cfg bench.ScalingConfig, jsonPath string) error {
+	reports := make([]bench.ScalingReport, 0, len(classes))
+	for _, class := range classes {
+		cfg.Class = class
+		report, err := bench.RunScaling(cfg)
+		if err != nil {
+			return fmt.Errorf("class %s: %w", class.Name, err)
+		}
+		fmt.Fprint(out, report.Format())
+		fmt.Fprint(out, "best throughput:")
+		for i, name := range report.Schedulers() {
+			if i > 0 {
+				fmt.Fprint(out, ",")
+			}
+			fmt.Fprintf(out, " %s %.0f tasks/s", name, report.BestThroughput(name))
+		}
+		fmt.Fprint(out, "\n\n")
+		reports = append(reports, report)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", jsonPath, err)
+	}
+	if err := bench.WriteScalingReports(f, reports); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", jsonPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", jsonPath, err)
+	}
+	fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	return nil
+}
+
+func parseInts(csv, what string) ([]int, error) {
 	if strings.TrimSpace(csv) == "" {
 		return nil, nil
 	}
@@ -97,7 +176,7 @@ func parseThreads(csv string) ([]int, error) {
 	for _, part := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("invalid thread count %q", part)
+			return nil, fmt.Errorf("invalid %s %q", what, part)
 		}
 		out = append(out, v)
 	}

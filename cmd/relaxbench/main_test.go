@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"relaxsched/internal/bench"
 )
 
 func TestRunCustomGraph(t *testing.T) {
@@ -75,16 +79,56 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestParseThreads(t *testing.T) {
-	got, err := parseThreads("1, 2, 8")
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2, 8", "thread count")
 	if err != nil || len(got) != 3 || got[2] != 8 {
-		t.Fatalf("parseThreads = %v, %v", got, err)
+		t.Fatalf("parseInts = %v, %v", got, err)
 	}
-	got, err = parseThreads("")
+	got, err = parseInts("", "thread count")
 	if err != nil || got != nil {
 		t.Fatalf("empty input should yield nil, got %v, %v", got, err)
 	}
-	if _, err := parseThreads("0"); err == nil {
+	if _, err := parseInts("0", "thread count"); err == nil {
 		t.Fatal("zero thread count accepted")
+	}
+	if _, err := parseInts("nope", "batch size"); err == nil {
+		t.Fatal("non-numeric batch size accepted")
+	}
+}
+
+func TestRunSweepWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_concurrent.json"
+	var out bytes.Buffer
+	err := run([]string{
+		"-sweep", "-vertices", "1500", "-edges", "6000", "-threads", "1,2",
+		"-batches", "1,16", "-trials", "1", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []bench.ScalingReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatalf("invalid JSON in %s: %v", jsonPath, err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	rep := reports[0]
+	// 3 schedulers x 2 worker counts x 2 batch sizes.
+	if len(rep.Points) != 12 {
+		t.Fatalf("got %d sweep points, want 12", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.ThroughputTasksPerSec <= 0 {
+			t.Fatalf("non-positive throughput in point %+v", pt)
+		}
+	}
+	if !strings.Contains(out.String(), "best throughput") {
+		t.Fatalf("missing sweep summary:\n%s", out.String())
 	}
 }

@@ -130,14 +130,25 @@ type Instance struct {
 
 var _ core.Instance = (*Instance)(nil)
 
-// Blocked reports whether v currently has a higher-priority, not yet
-// contracted list neighbor.
+// Blocked reports whether v currently has a higher-priority list neighbor.
+//
+// Unlike problems over immutable dependency structures, the processed bit of
+// the observed neighbor must NOT be consulted here: if a loaded neighbor p
+// has a smaller label, v is blocked even when p is already marked processed.
+// A processed p in v's pointer is a transient mid-splice view — p's
+// contraction rewired v's pointer before p's processed bit was set, but this
+// goroutine may observe the bit without the pointer update. Proceeding on
+// that stale view would let v contract against a neighborhood the sequential
+// order never produces (p's replacement may be an unprocessed lower-priority
+// node). Reporting blocked is always safe: the re-delivered v observes the
+// rewired pointer, and the node actually blocking v is never waiting on v
+// (its label is smaller), so progress is preserved.
 func (inst *Instance) Blocked(v int) bool {
 	lv := inst.st.Label(v)
-	if p := inst.prev[v].Load(); p != None && inst.st.Label(int(p)) < lv && !inst.st.Processed(int(p)) {
+	if p := inst.prev[v].Load(); p != None && inst.st.Label(int(p)) < lv {
 		return true
 	}
-	if nx := inst.next[v].Load(); nx != None && inst.st.Label(int(nx)) < lv && !inst.st.Processed(int(nx)) {
+	if nx := inst.next[v].Load(); nx != None && inst.st.Label(int(nx)) < lv {
 		return true
 	}
 	return false

@@ -1,0 +1,33 @@
+package listcontract
+
+import (
+	"testing"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched/multiqueue"
+)
+
+func TestConcurrentContractionDeterministicStress(t *testing.T) {
+	// Regression stress for the stale-neighbor race: adjacent-priority nodes
+	// delivered to different workers nearly simultaneously can catch a
+	// neighbor pointer mid-splice. Small lists maximize adjacency collisions.
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 50 + r.Intn(200)
+		p := NewRandomList(n, r)
+		labels := core.RandomLabels(n, r)
+		wantPrev, wantNext := Sequential(p, labels)
+		mq := multiqueue.NewConcurrent(8, n, uint64(trial))
+		gotPrev, gotNext, _, err := RunConcurrent(p, labels, mq, core.ConcurrentOptions{Workers: 8, BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(gotPrev, gotNext, wantPrev, wantNext) {
+			t.Fatalf("trial %d (n=%d): concurrent contraction differs from sequential", trial, n)
+		}
+		if err := Verify(p, labels, gotPrev, gotNext); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

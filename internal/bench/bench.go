@@ -107,6 +107,9 @@ type Config struct {
 	// QueueFactor is the number of MultiQueue sub-queues per thread
 	// (default 4, as in the paper).
 	QueueFactor int
+	// BatchSize is the executor batch size (0 selects the executor default,
+	// 1 the single-item discipline).
+	BatchSize int
 	// Seed makes graph generation and permutations reproducible.
 	Seed uint64
 	// Verify makes every parallel run check its output against the
@@ -157,6 +160,8 @@ type Measurement struct {
 	// (failed deletes plus dead skips beyond n; zero for the sequential
 	// baseline).
 	ExtraIterations stats.Summary
+	// EmptyPolls summarizes scheduler polls that found nothing per trial.
+	EmptyPolls stats.Summary
 }
 
 // Report is the outcome of one Figure 2 panel.
@@ -166,41 +171,52 @@ type Report struct {
 	Measurements []Measurement
 }
 
+// buildPanel generates the class's input graph, builds the workload, and
+// times the sequential baseline — the setup shared by Run (Figure 2 panels)
+// and RunScaling (the worker-scaling sweep), so numbers from the two
+// harnesses stay comparable by construction.
+func buildPanel(class Class, alg Algorithm, trials int, seed uint64) (*workload, stats.Summary, uint64, error) {
+	r := rng.New(seed ^ 0xbe9cbe9cbe9cbe9c)
+
+	// The paper generates each input graph with all available threads
+	// regardless of the thread count under test; ParallelGNP mirrors that.
+	n := class.Vertices
+	p := float64(2*class.Edges) / (float64(n) * float64(n-1))
+	g, err := graph.ParallelGNP(n, p, runtime.GOMAXPROCS(0), r)
+	if err != nil {
+		return nil, stats.Summary{}, 0, fmt.Errorf("bench: generating %s graph: %w", class.Name, err)
+	}
+	w, err := buildWorkload(alg, g, r)
+	if err != nil {
+		return nil, stats.Summary{}, 0, err
+	}
+
+	var seqTimes []float64
+	var reference uint64
+	for trial := 0; trial < trials; trial++ {
+		start := time.Now()
+		reference = w.runSequential()
+		seqTimes = append(seqTimes, time.Since(start).Seconds())
+	}
+	return w, stats.Summarize(seqTimes), reference, nil
+}
+
 // Run executes one Figure 2 panel.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Class.Vertices <= 0 {
 		return Report{}, fmt.Errorf("bench: class has no vertices")
 	}
-	r := rng.New(cfg.Seed ^ 0xbe9cbe9cbe9cbe9c)
-
-	// The paper generates each input graph with all available threads
-	// regardless of the thread count under test; ParallelGNP mirrors that.
-	n := cfg.Class.Vertices
-	p := float64(2*cfg.Class.Edges) / (float64(n) * float64(n-1))
-	g, err := graph.ParallelGNP(n, p, runtime.GOMAXPROCS(0), r)
-	if err != nil {
-		return Report{}, fmt.Errorf("bench: generating %s graph: %w", cfg.Class.Name, err)
-	}
-	w, err := buildWorkload(cfg.Algorithm, g, r)
+	w, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed)
 	if err != nil {
 		return Report{}, err
 	}
 
 	report := Report{Class: cfg.Class}
-
-	// Sequential baseline.
-	var seqTimes []float64
-	var reference uint64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		start := time.Now()
-		reference = w.runSequential()
-		seqTimes = append(seqTimes, time.Since(start).Seconds())
-	}
 	report.Sequential = Measurement{
 		Scheduler: SchedulerSequential,
 		Threads:   1,
-		Time:      stats.Summarize(seqTimes),
+		Time:      seqTime,
 		Speedup:   1,
 	}
 
@@ -226,7 +242,7 @@ func Run(cfg Config) (Report, error) {
 				factory: func(trial int) sched.Concurrent { return faaqueue.New(w.numTasks) },
 			},
 		} {
-			m, err := runParallel(w, cfg, threads, reference, variant.policy, variant.factory)
+			m, err := runParallel(w, cfg.Trials, cfg.Verify, threads, cfg.BatchSize, reference, variant.policy, variant.factory)
 			if err != nil {
 				return Report{}, fmt.Errorf("bench: %s run at %d threads: %w", variant.name, threads, err)
 			}
@@ -296,21 +312,24 @@ func buildWorkload(alg Algorithm, g *graph.Graph, r *rng.Rand) (*workload, error
 	}
 }
 
-func runParallel(w *workload, cfg Config, threads int, reference uint64, policy core.Policy, factory func(trial int) sched.Concurrent) (Measurement, error) {
+func runParallel(w *workload, trials int, verify bool, threads, batch int, reference uint64, policy core.Policy, factory func(trial int) sched.Concurrent) (Measurement, error) {
 	var times []float64
 	var extras []float64
-	for trial := 0; trial < cfg.Trials; trial++ {
+	var empties []float64
+	for trial := 0; trial < trials; trial++ {
 		start := time.Now()
 		res, err := core.RunConcurrent(w.problem, w.labels, factory(trial), core.ConcurrentOptions{
 			Workers:       threads,
 			BlockedPolicy: policy,
+			BatchSize:     batch,
 		})
 		if err != nil {
 			return Measurement{}, err
 		}
 		times = append(times, time.Since(start).Seconds())
 		extras = append(extras, float64(res.ExtraIterations()))
-		if cfg.Verify && w.fingerprint(res.Instance) != reference {
+		empties = append(empties, float64(res.EmptyPolls))
+		if verify && w.fingerprint(res.Instance) != reference {
 			return Measurement{}, fmt.Errorf("parallel output differs from the sequential output (determinism violation)")
 		}
 	}
@@ -318,6 +337,7 @@ func runParallel(w *workload, cfg Config, threads int, reference uint64, policy 
 		Threads:         threads,
 		Time:            stats.Summarize(times),
 		ExtraIterations: stats.Summarize(extras),
+		EmptyPolls:      stats.Summarize(empties),
 	}, nil
 }
 

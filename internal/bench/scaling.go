@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/faaqueue"
+	"relaxsched/internal/sched/kbounded"
+	"relaxsched/internal/sched/multiqueue"
+)
+
+// SchedulerLockedKBounded names the coarse-locked deterministic k-bounded
+// scheduler in sweep measurements. It exercises the sched.Batcher path: one
+// lock acquisition per batch with native batch operations inside.
+const SchedulerLockedKBounded = "locked-kbounded"
+
+// DefaultBatchSweep returns the batch sizes the scaling sweep measures:
+// 1 (the single-item discipline), the executor default, and one size in
+// between and one beyond, so the throughput-versus-relaxation tradeoff is
+// visible in the output.
+func DefaultBatchSweep() []int {
+	return []int{1, 4, core.DefaultBatchSize, 64}
+}
+
+// DefaultWorkerSweep returns 1, 2, 4, ... up to NumCPU, always including
+// NumCPU itself — the x-axis of the scaling sweep.
+func DefaultWorkerSweep() []int {
+	return DefaultThreadSweep()
+}
+
+// ScalingConfig configures RunScaling, the worker-scaling sweep behind
+// BENCH_concurrent.json.
+type ScalingConfig struct {
+	Class Class
+	// Algorithm selects the workload (default AlgorithmMIS).
+	Algorithm Algorithm
+	// Workers is the list of worker counts to sweep (default
+	// DefaultWorkerSweep).
+	Workers []int
+	// BatchSizes is the list of executor batch sizes to sweep (default
+	// DefaultBatchSweep).
+	BatchSizes []int
+	// Schedulers is the list of scheduler names to sweep (default
+	// SchedulerRelaxed, SchedulerExact and SchedulerLockedKBounded).
+	Schedulers []string
+	// Trials per data point. Default 3.
+	Trials int
+	// QueueFactor is the number of MultiQueue sub-queues per thread
+	// (default 4, as in the paper).
+	QueueFactor int
+	// Seed makes graph generation and permutations reproducible.
+	Seed uint64
+	// Verify makes every run check its output against the sequential oracle.
+	Verify bool
+}
+
+func (c ScalingConfig) withDefaults() ScalingConfig {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgorithmMIS
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = DefaultWorkerSweep()
+	}
+	if len(c.BatchSizes) == 0 {
+		c.BatchSizes = DefaultBatchSweep()
+	}
+	if len(c.Schedulers) == 0 {
+		c.Schedulers = []string{SchedulerRelaxed, SchedulerExact, SchedulerLockedKBounded}
+	}
+	if c.Trials <= 0 {
+		c.Trials = 3
+	}
+	if c.QueueFactor <= 0 {
+		c.QueueFactor = multiqueue.DefaultQueueFactor
+	}
+	return c
+}
+
+// ScalingPoint is one (scheduler, workers, batch size) measurement.
+type ScalingPoint struct {
+	Scheduler string `json:"scheduler"`
+	Workers   int    `json:"workers"`
+	BatchSize int    `json:"batch_size"`
+	// TimeMeanSeconds and TimeMinSeconds summarize wall-clock time across
+	// trials.
+	TimeMeanSeconds float64 `json:"time_mean_seconds"`
+	TimeMinSeconds  float64 `json:"time_min_seconds"`
+	// ThroughputTasksPerSec is tasks divided by mean wall-clock time — the
+	// primary quantity the sweep tracks across PRs.
+	ThroughputTasksPerSec float64 `json:"throughput_tasks_per_sec"`
+	// Speedup is the sequential baseline's mean time over this point's mean.
+	Speedup float64 `json:"speedup"`
+	// ExtraIterationsMean counts wasted scheduler deliveries per trial.
+	ExtraIterationsMean float64 `json:"extra_iterations_mean"`
+	// EmptyPollsMean counts deliveries that found the scheduler empty.
+	EmptyPollsMean float64 `json:"empty_polls_mean"`
+}
+
+// ScalingReport is the JSON-serializable outcome of one scaling sweep —
+// the machine-readable perf trajectory written to BENCH_concurrent.json.
+type ScalingReport struct {
+	Class     string `json:"class"`
+	Vertices  int    `json:"vertices"`
+	Edges     int64  `json:"edges"`
+	Algorithm string `json:"algorithm"`
+	Tasks     int    `json:"tasks"`
+	NumCPU    int    `json:"num_cpu"`
+	Trials    int    `json:"trials"`
+	Seed      uint64 `json:"seed"`
+	// SequentialSeconds is the mean wall-clock time of the optimized
+	// sequential baseline, the denominator of every Speedup.
+	SequentialSeconds float64        `json:"sequential_seconds"`
+	Points            []ScalingPoint `json:"points"`
+}
+
+// RunScaling executes the worker-scaling sweep: for one graph class and
+// algorithm it measures throughput for every (scheduler, workers, batch
+// size) combination against the sequential baseline.
+func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Class.Vertices <= 0 {
+		return ScalingReport{}, fmt.Errorf("bench: class has no vertices")
+	}
+	w, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed)
+	if err != nil {
+		return ScalingReport{}, err
+	}
+
+	report := ScalingReport{
+		Class:             cfg.Class.Name,
+		Vertices:          cfg.Class.Vertices,
+		Edges:             cfg.Class.Edges,
+		Algorithm:         string(cfg.Algorithm),
+		Tasks:             w.numTasks,
+		NumCPU:            runtime.NumCPU(),
+		Trials:            cfg.Trials,
+		Seed:              cfg.Seed,
+		SequentialSeconds: seqTime.Mean,
+	}
+
+	for _, name := range cfg.Schedulers {
+		variant, err := schedulerVariant(name, cfg, w.numTasks)
+		if err != nil {
+			return ScalingReport{}, err
+		}
+		for _, workers := range cfg.Workers {
+			if workers < 1 {
+				return ScalingReport{}, fmt.Errorf("bench: invalid worker count %d", workers)
+			}
+			for _, batch := range cfg.BatchSizes {
+				if batch < 1 {
+					return ScalingReport{}, fmt.Errorf("bench: invalid batch size %d", batch)
+				}
+				m, err := runParallel(w, cfg.Trials, cfg.Verify, workers, batch, reference, variant.policy,
+					func(trial int) sched.Concurrent { return variant.factory(workers, trial) })
+				if err != nil {
+					return ScalingReport{}, fmt.Errorf("bench: %s at %d workers batch %d: %w", name, workers, batch, err)
+				}
+				report.Points = append(report.Points, ScalingPoint{
+					Scheduler:             name,
+					Workers:               workers,
+					BatchSize:             batch,
+					TimeMeanSeconds:       m.Time.Mean,
+					TimeMinSeconds:        m.Time.Min,
+					ThroughputTasksPerSec: float64(w.numTasks) / m.Time.Mean,
+					Speedup:               report.SequentialSeconds / m.Time.Mean,
+					ExtraIterationsMean:   m.ExtraIterations.Mean,
+					EmptyPollsMean:        m.EmptyPolls.Mean,
+				})
+			}
+		}
+	}
+	return report, nil
+}
+
+// schedulerVariant maps a sweep scheduler name to its blocked-task policy
+// and per-(workers, trial) scheduler factory.
+type sweepVariant struct {
+	policy  core.Policy
+	factory func(workers, trial int) sched.Concurrent
+}
+
+func schedulerVariant(name string, cfg ScalingConfig, numTasks int) (sweepVariant, error) {
+	switch name {
+	case SchedulerRelaxed:
+		return sweepVariant{
+			policy: core.Reinsert,
+			factory: func(workers, trial int) sched.Concurrent {
+				return multiqueue.NewConcurrent(cfg.QueueFactor*workers, numTasks, cfg.Seed+uint64(trial)*7919)
+			},
+		}, nil
+	case SchedulerExact:
+		return sweepVariant{
+			policy:  core.Wait,
+			factory: func(workers, trial int) sched.Concurrent { return faaqueue.New(numTasks) },
+		}, nil
+	case SchedulerLockedKBounded:
+		return sweepVariant{
+			policy: core.Reinsert,
+			factory: func(workers, trial int) sched.Concurrent {
+				return sched.NewLocked(kbounded.New(cfg.QueueFactor*workers, numTasks))
+			},
+		}, nil
+	default:
+		return sweepVariant{}, fmt.Errorf("bench: unknown sweep scheduler %q", name)
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep ScalingReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteScalingReports writes several sweep reports (one per graph class) as
+// a single indented JSON array — the layout of BENCH_concurrent.json.
+func WriteScalingReports(w io.Writer, reports []ScalingReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// Format renders the sweep as an aligned text table.
+func (rep ScalingReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scaling sweep: class=%s algo=%s |V|=%d |E|=%d tasks=%d cpus=%d seq=%.4fs\n",
+		rep.Class, rep.Algorithm, rep.Vertices, rep.Edges, rep.Tasks, rep.NumCPU, rep.SequentialSeconds)
+	fmt.Fprintf(&b, "%-20s %8s %6s %12s %14s %10s %12s\n",
+		"scheduler", "workers", "batch", "time-mean(s)", "tasks/sec", "speedup", "extra-iters")
+	sorted := append([]ScalingPoint(nil), rep.Points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Scheduler != sorted[j].Scheduler {
+			return sorted[i].Scheduler < sorted[j].Scheduler
+		}
+		if sorted[i].Workers != sorted[j].Workers {
+			return sorted[i].Workers < sorted[j].Workers
+		}
+		return sorted[i].BatchSize < sorted[j].BatchSize
+	})
+	for _, pt := range sorted {
+		fmt.Fprintf(&b, "%-20s %8d %6d %12.4f %14.0f %10.2f %12.1f\n",
+			pt.Scheduler, pt.Workers, pt.BatchSize, pt.TimeMeanSeconds,
+			pt.ThroughputTasksPerSec, pt.Speedup, pt.ExtraIterationsMean)
+	}
+	return b.String()
+}
+
+// Schedulers returns the distinct scheduler names present in the sweep, in
+// first-appearance order.
+func (rep ScalingReport) Schedulers() []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, pt := range rep.Points {
+		if !seen[pt.Scheduler] {
+			seen[pt.Scheduler] = true
+			names = append(names, pt.Scheduler)
+		}
+	}
+	return names
+}
+
+// BestThroughput returns the highest throughput the given scheduler reached
+// anywhere in the sweep (0 if absent).
+func (rep ScalingReport) BestThroughput(scheduler string) float64 {
+	best := 0.0
+	for _, pt := range rep.Points {
+		if pt.Scheduler == scheduler && pt.ThroughputTasksPerSec > best {
+			best = pt.ThroughputTasksPerSec
+		}
+	}
+	return best
+}

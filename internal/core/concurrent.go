@@ -5,9 +5,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+	"unsafe"
 
 	"relaxsched/internal/sched"
 )
+
+// DefaultBatchSize is the number of tasks a worker requests from the
+// scheduler per synchronization episode when ConcurrentOptions.BatchSize is
+// zero. Batching amortizes one scheduler acquisition (a sub-queue lock, a
+// fetch-and-add) over the whole batch; the value is a compromise between
+// amortization and the extra relaxation a batch introduces (popping B items
+// at once behaves like a scheduler whose rank bound grew by B).
+const DefaultBatchSize = 16
 
 // ConcurrentOptions configures RunConcurrent.
 type ConcurrentOptions struct {
@@ -18,6 +28,11 @@ type ConcurrentOptions struct {
 	// while blocked: Reinsert (default, the relaxed framework of Algorithm 2)
 	// or Wait (the backoff scheme the paper uses with its exact scheduler).
 	BlockedPolicy Policy
+	// BatchSize is the number of tasks a worker requests from the scheduler
+	// per acquisition. Zero selects DefaultBatchSize; 1 reproduces the
+	// single-item delivery discipline exactly. Failed-delete re-inserts are
+	// flushed back in batches of the same size.
+	BatchSize int
 }
 
 // WorkerResult reports per-worker counters from a concurrent execution.
@@ -35,15 +50,54 @@ type ConcurrentResult struct {
 	Workers []WorkerResult
 }
 
+// workerState is one worker's execution-time state, laid out as two 64-byte
+// cache lines: the first holds the counters only the owning worker writes,
+// the second holds the cross-worker-read resolved counter. Without the
+// padding, up to three workers' counters land on one line and every
+// Processed++ invalidates the others' caches; without the split, idle
+// workers' termination-check loads of resolved would pull the owner's hot
+// counter line into shared state and each owner increment would pay a
+// coherence miss.
+type workerState struct {
+	WorkerResult               // 40 bytes, written only by the owning worker
+	_            [64 - 40]byte // rest of the owner-private cache line
+	// resolved is the number of tasks this worker has resolved (processed or
+	// skipped as dead) and published. Each resolved task is counted by
+	// exactly one worker, so the sum across workers is exact whenever all
+	// workers have published — which they do before every termination check.
+	resolved atomic.Int64
+	_        [64 - 8]byte
+}
+
+// Compile-time guard: workerState must stay exactly two 64-byte cache
+// lines. Adding a counter to WorkerResult without re-padding breaks this
+// assignment instead of silently re-introducing false sharing.
+var _ [128]byte = [unsafe.Sizeof(workerState{})]byte{}
+
+// sumResolved returns the total number of published resolved tasks.
+func sumResolved(states []workerState) int64 {
+	var total int64
+	for i := range states {
+		total += states[i].resolved.Load()
+	}
+	return total
+}
+
 // RunConcurrent executes the problem with worker goroutines sharing a
 // concurrent scheduler, as in the paper's Figure 2 experiments. The problem
 // instance must be safe for concurrent calls on distinct tasks (all the
 // algos packages in this library are). The output is identical to
 // RunSequential with the same labels.
 //
-// Termination is tracked with an outstanding-task counter rather than
-// scheduler emptiness, because a concurrent scheduler may transiently report
-// empty while another worker holds the last tasks.
+// Each worker drains the scheduler in batches (see
+// ConcurrentOptions.BatchSize), so one scheduler acquisition is amortized
+// over many tasks, and re-inserts blocked tasks in batches likewise.
+// Termination is tracked with per-worker resolved-task counters rather than
+// scheduler emptiness (a concurrent scheduler may transiently report empty
+// while another worker holds the last tasks) or a single shared countdown
+// (which every worker would hammer): a worker publishes its delta after each
+// batch and performs the exact sum check only when it finds the scheduler
+// empty.
 func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts ConcurrentOptions) (ConcurrentResult, error) {
 	n := p.NumTasks()
 	if err := validateLabels(n, labels); err != nil {
@@ -55,41 +109,53 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 	if opts.Workers < 1 {
 		return ConcurrentResult{}, fmt.Errorf("%w: got %d", ErrNoWorkers, opts.Workers)
 	}
+	if opts.BatchSize < 0 {
+		return ConcurrentResult{}, fmt.Errorf("%w: got %d", ErrBadBatch, opts.BatchSize)
+	}
 	policy := opts.BlockedPolicy
 	if policy == 0 {
 		policy = Reinsert
+	}
+	batch := opts.BatchSize
+	if batch == 0 {
+		batch = DefaultBatchSize
 	}
 
 	st := newConcState(labels)
 	inst := p.NewInstance(st)
 
 	// Load every task in priority order so an exact FIFO scheduler dispenses
-	// them exactly as Algorithm 1 would.
-	for _, task := range TasksByLabel(labels) {
-		s.Insert(sched.Item{Task: task, Priority: labels[task]})
+	// them exactly as Algorithm 1 would, with one batch insert: batch
+	// implementations preserve intra-batch order where order is meaningful
+	// and shard internally where spreading matters, so a single call both
+	// amortizes the preload's synchronization and keeps the schedulers'
+	// distribution properties.
+	items := make([]sched.Item, n)
+	for pos, task := range TasksByLabel(labels) {
+		items[pos] = sched.Item{Task: task, Priority: labels[task]}
 	}
+	s.InsertBatch(items)
 
-	var remaining atomic.Int64
-	remaining.Store(int64(n))
-
-	workers := make([]WorkerResult, opts.Workers)
+	states := make([]workerState, opts.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(inst, st, s, policy, &remaining, &workers[w])
+			runWorker(inst, st, s, policy, batch, int64(n), states, w)
 		}(w)
 	}
 	wg.Wait()
 
-	if remaining.Load() != 0 {
-		return ConcurrentResult{}, fmt.Errorf("%w: %d tasks unresolved", ErrStuck, remaining.Load())
+	if resolved := sumResolved(states); resolved != int64(n) {
+		return ConcurrentResult{}, fmt.Errorf("%w: %d tasks unresolved", ErrStuck, int64(n)-resolved)
 	}
 
-	res := ConcurrentResult{Workers: workers}
+	res := ConcurrentResult{Workers: make([]WorkerResult, opts.Workers)}
 	res.Instance = inst
-	for _, wr := range workers {
+	for w := range states {
+		wr := states[w].WorkerResult
+		res.Workers[w] = wr
 		res.Processed += wr.Processed
 		res.DeadSkips += wr.DeadSkips
 		res.FailedDeletes += wr.FailedDeletes
@@ -100,53 +166,129 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 	return res, nil
 }
 
-func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, remaining *atomic.Int64, wr *WorkerResult) {
-	idleSpins := 0
-	for {
-		if remaining.Load() == 0 {
-			return
-		}
-		it, ok := s.ApproxGetMin()
-		if !ok {
-			wr.EmptyPolls++
-			idleSpins++
-			if idleSpins > 32 {
-				runtime.Gosched()
-			}
-			continue
-		}
-		idleSpins = 0
-		v := int(it.Task)
+func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, batch int, total int64, states []workerState, self int) {
+	ws := &states[self]
+	wr := &ws.WorkerResult
+	buf := make([]sched.Item, batch)
+	reinsert := make([]sched.Item, 0, batch)
+	var backoff idleBackoff
+	var unpublished int64
 
-		if inst.Dead(v) {
-			wr.DeadSkips++
-			remaining.Add(-1)
+	for {
+		n := s.ApproxPopBatch(buf)
+		if n == 0 {
+			wr.EmptyPolls++
+			// The re-insert buffer is always empty here (it is flushed after
+			// every batch), so publishing the local delta makes the global
+			// sum exact: if it covers every task, the execution is complete.
+			if unpublished != 0 {
+				ws.resolved.Add(unpublished)
+				unpublished = 0
+			}
+			if sumResolved(states) == total {
+				return
+			}
+			backoff.wait()
 			continue
 		}
-		if inst.Blocked(v) {
-			released := false
-			if policy == Wait {
-				wr.Waits++
-				released = spinUntilUnblocked(inst, v)
-			}
-			if !released {
-				wr.FailedDeletes++
-				s.Insert(it)
+		backoff.reset()
+
+		items := buf[:n]
+		sortBatch(items)
+		for _, it := range items {
+			v := int(it.Task)
+			if inst.Dead(v) {
+				wr.DeadSkips++
+				unpublished++
 				continue
 			}
+			if inst.Blocked(v) {
+				released := false
+				if policy == Wait {
+					wr.Waits++
+					released = spinUntilUnblocked(inst, v)
+				}
+				if !released {
+					wr.FailedDeletes++
+					reinsert = append(reinsert, it)
+					continue
+				}
+			}
+			// The task may have been killed while it was blocked (an MIS
+			// neighbor of higher priority joined the independent set); the
+			// re-check keeps the output identical to the sequential execution.
+			if inst.Dead(v) {
+				wr.DeadSkips++
+				unpublished++
+				continue
+			}
+			inst.Process(v)
+			st.markProcessed(v)
+			wr.Processed++
+			unpublished++
 		}
-		// The task may have been killed while it was blocked (an MIS
-		// neighbor of higher priority joined the independent set); the
-		// re-check keeps the output identical to the sequential execution.
-		if inst.Dead(v) {
-			wr.DeadSkips++
-			remaining.Add(-1)
-			continue
+		if len(reinsert) > 0 {
+			s.InsertBatch(reinsert)
+			reinsert = reinsert[:0]
 		}
-		inst.Process(v)
-		st.markProcessed(v)
-		wr.Processed++
-		remaining.Add(-1)
+		if unpublished != 0 {
+			ws.resolved.Add(unpublished)
+			unpublished = 0
+		}
+	}
+}
+
+// sortBatch orders a delivered batch by scheduling priority, so intra-batch
+// dependencies are handled in dependency order (a blocked task whose blocker
+// sits later in the same batch would otherwise always be a failed delete)
+// and so an exact scheduler's batches replay the sequential order. Batches
+// arrive mostly sorted — heap-backed schedulers pop minima in increasing
+// order and FIFO batches are preloaded in priority order — so insertion sort
+// runs in effectively linear time.
+func sortBatch(items []sched.Item) {
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		j := i - 1
+		for j >= 0 && it.Less(items[j]) {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = it
+	}
+}
+
+// Idle backoff thresholds: a worker that keeps finding the scheduler empty
+// first busy-spins (refills usually arrive within nanoseconds), then yields
+// its P, then sleeps with exponentially growing duration. Sleeping workers
+// stop burning CPU while the last tasks drain, at a bounded cost to wakeup
+// latency.
+const (
+	backoffSpinLimit  = 32
+	backoffYieldLimit = 64
+	backoffSleepCap   = 128 * time.Microsecond
+)
+
+// idleBackoff tracks consecutive empty polls and escalates the waiting
+// strategy accordingly.
+type idleBackoff struct {
+	idle int
+}
+
+func (b *idleBackoff) reset() { b.idle = 0 }
+
+func (b *idleBackoff) wait() {
+	b.idle++
+	switch {
+	case b.idle <= backoffSpinLimit:
+		// Busy-spin: cheapest reaction to a transient empty.
+	case b.idle <= backoffYieldLimit:
+		runtime.Gosched()
+	default:
+		d := time.Microsecond << uint(min(b.idle-backoffYieldLimit-1, 7))
+		if d > backoffSleepCap {
+			d = backoffSleepCap
+		}
+		time.Sleep(d)
 	}
 }
 

@@ -143,6 +143,8 @@ var (
 	ErrNoWorkers = errors.New("core: worker count must be at least 1")
 	// ErrNilScheduler indicates a nil scheduler or scheduler factory.
 	ErrNilScheduler = errors.New("core: scheduler must not be nil")
+	// ErrBadBatch indicates RunConcurrent was given a negative batch size.
+	ErrBadBatch = errors.New("core: batch size must not be negative")
 )
 
 // RandomLabels returns a uniformly random priority permutation for n tasks:

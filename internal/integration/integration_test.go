@@ -137,6 +137,64 @@ func TestFullMatrixConcurrentSchedulers(t *testing.T) {
 	}
 }
 
+func TestBatchedExecutionMatchesSequential(t *testing.T) {
+	// The regression net for the batched executor: MIS, coloring and
+	// matching, executed with batched deliveries over both a natively
+	// batched scheduler (MultiQueue) and the coarse-locked Batcher path
+	// (k-bounded), must reproduce the sequential output bit for bit at
+	// every batch size.
+	r := rng.New(4242)
+	const n = 1000
+	g, err := graph.GNM(n, 6000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vertexLabels := core.RandomLabels(n, r)
+	edgeLabels := core.RandomLabels(int(g.NumEdges()), r)
+
+	wantMIS := mis.Sequential(g, vertexLabels)
+	wantColors := coloring.Sequential(g, vertexLabels)
+	wantMatching := matching.Sequential(g, edgeLabels)
+
+	schedulers := func(capacity int, seed uint64) map[string]sched.Concurrent {
+		return map[string]sched.Concurrent{
+			"multiqueue":      multiqueue.NewConcurrent(16, capacity, seed),
+			"locked-kbounded": sched.NewLocked(kbounded.New(16, capacity)),
+		}
+	}
+
+	for _, batch := range []int{1, 16, 64} {
+		opts := core.ConcurrentOptions{Workers: 4, BatchSize: batch}
+		for name, s := range schedulers(n, uint64(batch)) {
+			got, _, err := mis.RunConcurrent(g, vertexLabels, s, opts)
+			if err != nil {
+				t.Fatalf("mis/%s batch=%d: %v", name, batch, err)
+			}
+			if !mis.Equal(got, wantMIS) {
+				t.Fatalf("mis/%s batch=%d: output differs from sequential", name, batch)
+			}
+		}
+		for name, s := range schedulers(n, uint64(batch)+50) {
+			got, _, err := coloring.RunConcurrent(g, vertexLabels, s, opts)
+			if err != nil {
+				t.Fatalf("coloring/%s batch=%d: %v", name, batch, err)
+			}
+			if !coloring.Equal(got, wantColors) {
+				t.Fatalf("coloring/%s batch=%d: output differs from sequential", name, batch)
+			}
+		}
+		for name, s := range schedulers(int(g.NumEdges()), uint64(batch)+100) {
+			got, _, err := matching.RunConcurrent(g, edgeLabels, s, opts)
+			if err != nil {
+				t.Fatalf("matching/%s batch=%d: %v", name, batch, err)
+			}
+			if !matching.Equal(got, wantMatching) {
+				t.Fatalf("matching/%s batch=%d: output differs from sequential", name, batch)
+			}
+		}
+	}
+}
+
 func TestEndToEndFileRoundTripPipeline(t *testing.T) {
 	// Generate -> serialize -> parse -> solve (all algorithms) -> verify:
 	// the full path a user of the CLI tools takes.
@@ -199,8 +257,12 @@ func TestEndToEndFileRoundTripPipeline(t *testing.T) {
 func TestDefinitionOneHoldsForConcurrentMultiQueue(t *testing.T) {
 	// Drive a real concurrent MIS execution through an instrumented
 	// MultiQueue and check that the observed relaxation looks like the
-	// (k, φ)-relaxed model with k = O(#queues): small mean rank, and maximum
-	// rank/inversions far below n.
+	// (k, φ)-relaxed model: with single-item deliveries (BatchSize 1) the
+	// scheduler's intrinsic relaxation must satisfy k = O(#queues) as in the
+	// paper's reference [2]; with the executor's batched deliveries the
+	// effective relaxation grows to k = O(#queues + batch), because a batch
+	// removal returns up to B items of one sub-queue in one episode. Both
+	// regimes keep mean rank and inversions far below n.
 	r := rng.New(31)
 	const n = 4000
 	const workers = 4
@@ -210,27 +272,49 @@ func TestDefinitionOneHoldsForConcurrentMultiQueue(t *testing.T) {
 		t.Fatal(err)
 	}
 	labels := core.RandomLabels(n, r)
-	inner := multiqueue.NewConcurrent(queues, n, 17)
-	instrumented := sched.NewConcurrentInstrumented(inner, n)
-	got, _, err := mis.RunConcurrent(g, labels, instrumented, core.ConcurrentOptions{Workers: workers})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !mis.Equal(got, mis.Sequential(g, labels)) {
-		t.Fatal("instrumented concurrent MIS differs from sequential")
-	}
-	m := instrumented.Metrics()
-	if m.Removals < int64(n) {
-		t.Fatalf("instrumented scheduler saw only %d removals for %d tasks", m.Removals, n)
-	}
-	if m.MeanRank > 8*queues {
-		t.Fatalf("mean rank %.1f too large for %d queues", m.MeanRank, queues)
-	}
-	if m.MaxRank > n/4 {
-		t.Fatalf("max rank %d is a large fraction of n=%d", m.MaxRank, n)
-	}
-	if m.MeanInversions > 32*queues {
-		t.Fatalf("mean inversions %.1f too large for %d queues", m.MeanInversions, queues)
+	want := mis.Sequential(g, labels)
+
+	// The max-rank caps differ by regime: single-item two-choice keeps the
+	// worst rank near O(#queues·log n); a batched removal drains up to B
+	// items from one sub-queue per sampling round, so a queue that stays
+	// unsampled for a while ages ~B times faster and the worst-case outlier
+	// grows to ~B·#queues·ln n (≈1300 here, observed under the race
+	// detector's adversarial interleavings) — still well below n.
+	for _, tc := range []struct {
+		name     string
+		batch    int
+		meanCap  float64
+		maxShare int
+	}{
+		{name: "single-item", batch: 1, meanCap: 8 * queues, maxShare: n / 4},
+		{name: "batched", batch: core.DefaultBatchSize,
+			meanCap: 8*queues + 4*core.DefaultBatchSize, maxShare: n / 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inner := multiqueue.NewConcurrent(queues, n, 17)
+			instrumented := sched.NewConcurrentInstrumented(inner, n)
+			got, _, err := mis.RunConcurrent(g, labels, instrumented,
+				core.ConcurrentOptions{Workers: workers, BatchSize: tc.batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mis.Equal(got, want) {
+				t.Fatal("instrumented concurrent MIS differs from sequential")
+			}
+			m := instrumented.Metrics()
+			if m.Removals < int64(n) {
+				t.Fatalf("instrumented scheduler saw only %d removals for %d tasks", m.Removals, n)
+			}
+			if m.MeanRank > tc.meanCap {
+				t.Fatalf("mean rank %.1f too large for %d queues at batch %d", m.MeanRank, queues, tc.batch)
+			}
+			if m.MaxRank > tc.maxShare {
+				t.Fatalf("max rank %d is a large fraction of n=%d", m.MaxRank, n)
+			}
+			if m.MeanInversions > float64(32*queues+8*tc.batch) {
+				t.Fatalf("mean inversions %.1f too large for %d queues at batch %d", m.MeanInversions, queues, tc.batch)
+			}
+		})
 	}
 }
 

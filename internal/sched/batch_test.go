@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// minBatcher is a fakeScheduler (LIFO) that additionally counts native batch
+// calls, to verify Locked routes through the Batcher fast path.
+type minBatcher struct {
+	fakeScheduler
+	insertBatches int
+	popBatches    int
+}
+
+func (b *minBatcher) InsertBatch(items []Item) {
+	b.insertBatches++
+	for _, it := range items {
+		b.Insert(it)
+	}
+}
+
+func (b *minBatcher) ApproxPopBatch(out []Item) int {
+	b.popBatches++
+	n := 0
+	for n < len(out) {
+		it, ok := b.ApproxGetMin()
+		if !ok {
+			break
+		}
+		out[n] = it
+		n++
+	}
+	return n
+}
+
+func TestWithDefaultBatchAdapter(t *testing.T) {
+	// A Single scheduler gains loop-based batch operations; a scheduler that
+	// is already Concurrent is passed through unchanged.
+	inner := &lifoConcurrent{}
+	c := WithDefaultBatch(inner)
+	items := []Item{{Task: 1, Priority: 1}, {Task: 2, Priority: 2}, {Task: 3, Priority: 3}}
+	c.InsertBatch(items)
+	out := make([]Item, 2)
+	if n := c.ApproxPopBatch(out); n != 2 {
+		t.Fatalf("popped %d, want 2", n)
+	}
+	// LIFO: last inserted first.
+	if out[0].Task != 3 || out[1].Task != 2 {
+		t.Fatalf("unexpected order %v", out)
+	}
+	if n := c.ApproxPopBatch(out); n != 1 || out[0].Task != 1 {
+		t.Fatalf("drain = %d %v", n, out[0])
+	}
+	if n := c.ApproxPopBatch(out); n != 0 {
+		t.Fatalf("empty pop returned %d", n)
+	}
+
+	l := NewLocked(&fakeScheduler{})
+	if WithDefaultBatch(l) != Concurrent(l) {
+		t.Fatal("WithDefaultBatch wrapped a scheduler that is already Concurrent")
+	}
+}
+
+func TestLockedBatchFallbackLoop(t *testing.T) {
+	// An inner scheduler without native batch support is looped over under
+	// one lock acquisition.
+	l := NewLocked(&fakeScheduler{})
+	l.InsertBatch([]Item{{Task: 1, Priority: 1}, {Task: 2, Priority: 2}})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after batch insert", l.Len())
+	}
+	out := make([]Item, 4)
+	if n := l.ApproxPopBatch(out); n != 2 {
+		t.Fatalf("popped %d, want 2", n)
+	}
+	if !l.Empty() {
+		t.Fatal("scheduler not empty after batch drain")
+	}
+	l.InsertBatch(nil) // must not panic
+	if n := l.ApproxPopBatch(nil); n != 0 {
+		t.Fatalf("nil pop returned %d", n)
+	}
+}
+
+func TestLockedBatchUsesNativeBatcher(t *testing.T) {
+	inner := &minBatcher{}
+	l := NewLocked(inner)
+	l.InsertBatch([]Item{{Task: 1, Priority: 1}, {Task: 2, Priority: 2}, {Task: 3, Priority: 3}})
+	out := make([]Item, 3)
+	if n := l.ApproxPopBatch(out); n != 3 {
+		t.Fatalf("popped %d, want 3", n)
+	}
+	if inner.insertBatches != 1 || inner.popBatches != 1 {
+		t.Fatalf("native batch calls = (%d, %d), want (1, 1)", inner.insertBatches, inner.popBatches)
+	}
+}
+
+func TestLockedBatchConcurrentConservation(t *testing.T) {
+	// Concurrent batch producers and consumers over a Locked scheduler must
+	// conserve the item count.
+	l := NewLocked(&fakeScheduler{})
+	const producers = 4
+	const consumers = 4
+	const perProducer = 2500
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]Item, 0, 16)
+			for i := 0; i < perProducer; i++ {
+				batch = append(batch, Item{Task: int32(w*perProducer + i), Priority: uint32(i)})
+				if len(batch) == cap(batch) {
+					l.InsertBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			l.InsertBatch(batch)
+		}(w)
+	}
+	wg.Wait()
+
+	counts := make([]int64, consumers)
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]Item, 16)
+			for {
+				n := l.ApproxPopBatch(out)
+				if n == 0 {
+					return
+				}
+				counts[w] += int64(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != producers*perProducer {
+		t.Fatalf("drained %d items, want %d", total, producers*perProducer)
+	}
+}
+
+func TestConcurrentInstrumentedBatchMetrics(t *testing.T) {
+	// Batch operations through the instrumented wrapper must record every
+	// item exactly once, with the same rank semantics as single removals.
+	m := NewConcurrentInstrumented(&lifoConcurrent{}, 16)
+	items := make([]Item, 8)
+	for i := range items {
+		items[i] = Item{Task: int32(i), Priority: uint32(i)}
+	}
+	m.InsertBatch(items)
+	out := make([]Item, 8)
+	if n := m.ApproxPopBatch(out); n != 8 {
+		t.Fatalf("popped %d, want 8", n)
+	}
+	metrics := m.Metrics()
+	if metrics.Removals != 8 {
+		t.Fatalf("removals = %d, want 8", metrics.Removals)
+	}
+	// LIFO: the first removal is the worst item, rank 8.
+	if metrics.MaxRank != 8 {
+		t.Fatalf("MaxRank = %d, want 8", metrics.MaxRank)
+	}
+}

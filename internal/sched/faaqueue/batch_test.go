@@ -1,0 +1,174 @@
+package faaqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"relaxsched/internal/sched"
+)
+
+func TestBatchFIFOOrderSequential(t *testing.T) {
+	// Batch inserts claim contiguous ticket ranges, so a single-threaded
+	// mix of batch and single operations must preserve exact FIFO order —
+	// the property that makes the FAA queue an exact scheduler for
+	// priority-ordered preloads.
+	q := New(0)
+	next := int32(0)
+	push := func(batch int) {
+		items := make([]sched.Item, batch)
+		for i := range items {
+			items[i] = sched.Item{Task: next, Priority: uint32(next)}
+			next++
+		}
+		q.InsertBatch(items)
+	}
+	push(5)
+	q.Insert(sched.Item{Task: next, Priority: uint32(next)})
+	next++
+	push(3)
+
+	want := int32(0)
+	out := make([]sched.Item, 4)
+	for {
+		n := q.ApproxPopBatch(out)
+		if n == 0 {
+			break
+		}
+		for _, it := range out[:n] {
+			if it.Task != want {
+				t.Fatalf("got task %d, want %d", it.Task, want)
+			}
+			want++
+		}
+	}
+	if want != next {
+		t.Fatalf("drained %d items, want %d", want, next)
+	}
+}
+
+func TestBatchPopClampedToSize(t *testing.T) {
+	// A batch pop larger than the queue must return only what is there and
+	// must not run the head past the tail (which would invalidate future
+	// enqueue tickets).
+	q := New(0)
+	q.InsertBatch([]sched.Item{{Task: 1, Priority: 1}, {Task: 2, Priority: 2}})
+	out := make([]sched.Item, 16)
+	if n := q.ApproxPopBatch(out); n != 2 {
+		t.Fatalf("popped %d, want 2", n)
+	}
+	if n := q.ApproxPopBatch(out); n != 0 {
+		t.Fatalf("empty batch pop returned %d", n)
+	}
+	// The queue must still work after draining.
+	q.Insert(sched.Item{Task: 9, Priority: 9})
+	if it, ok := q.ApproxGetMin(); !ok || it.Task != 9 {
+		t.Fatalf("queue broken after batch drain: %v %v", it, ok)
+	}
+}
+
+func TestBatchSpansSegments(t *testing.T) {
+	// Batches larger than a segment must land correctly across the segment
+	// boundary.
+	q := New(0)
+	const n = 3 * segmentSize
+	items := make([]sched.Item, n)
+	for i := range items {
+		items[i] = sched.Item{Task: int32(i), Priority: uint32(i)}
+	}
+	q.InsertBatch(items)
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	out := make([]sched.Item, 100)
+	want := int32(0)
+	for {
+		got := q.ApproxPopBatch(out)
+		if got == 0 {
+			break
+		}
+		for _, it := range out[:got] {
+			if it.Task != want {
+				t.Fatalf("got task %d, want %d", it.Task, want)
+			}
+			want++
+		}
+	}
+	if want != n {
+		t.Fatalf("drained %d, want %d", want, n)
+	}
+}
+
+func TestBatchConcurrentProducersConsumers(t *testing.T) {
+	const producers = 4
+	const consumers = 4
+	const perProducer = 5000
+	const total = producers * perProducer
+	q := New(0)
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	var consumed sync.Map
+
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]sched.Item, 32)
+			misses := 0
+			for {
+				n := q.ApproxPopBatch(out)
+				if n == 0 {
+					if done.Load() == total {
+						return
+					}
+					misses++
+					if misses > 1000000 {
+						return
+					}
+					continue
+				}
+				misses = 0
+				for _, it := range out[:n] {
+					if _, dup := consumed.LoadOrStore(it.Task, w); dup {
+						t.Errorf("task %d consumed twice", it.Task)
+						return
+					}
+				}
+				if done.Add(int64(n)) == total {
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]sched.Item, 0, 16)
+			for i := 0; i < perProducer; i++ {
+				batch = append(batch, sched.Item{Task: int32(w*perProducer + i), Priority: uint32(i)})
+				if len(batch) == cap(batch) {
+					q.InsertBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			q.InsertBatch(batch)
+		}(w)
+	}
+	wg.Wait()
+
+	var seen int
+	consumed.Range(func(any, any) bool { seen++; return true })
+	remaining := 0
+	out := make([]sched.Item, 64)
+	for {
+		n := q.ApproxPopBatch(out)
+		if n == 0 {
+			break
+		}
+		remaining += n
+	}
+	if seen+remaining != total {
+		t.Fatalf("consumed %d + leftover %d != produced %d", seen, remaining, total)
+	}
+}

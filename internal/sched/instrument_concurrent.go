@@ -34,35 +34,27 @@ type ConcurrentInstrumented struct {
 var _ Concurrent = (*ConcurrentInstrumented)(nil)
 
 // NewConcurrentInstrumented wraps inner. universe must be strictly greater
-// than any priority that will be inserted.
-func NewConcurrentInstrumented(inner Concurrent, universe int) *ConcurrentInstrumented {
+// than any priority that will be inserted. Schedulers without native batch
+// operations are adapted with WithDefaultBatch.
+func NewConcurrentInstrumented(inner Single, universe int) *ConcurrentInstrumented {
 	return &ConcurrentInstrumented{
-		inner:    inner,
+		inner:    WithDefaultBatch(inner),
 		live:     orderstat.NewSet(universe),
 		invAcc:   orderstat.NewRangeAdder(universe),
 		baseline: make([]int64, universe),
 	}
 }
 
-// Insert adds an item and starts tracking its inversions.
-func (m *ConcurrentInstrumented) Insert(it Item) {
-	m.mu.Lock()
+// recordInsert starts tracking an inserted item. Callers hold m.mu.
+func (m *ConcurrentInstrumented) recordInsert(it Item) {
 	p := int(it.Priority)
 	m.live.Insert(p)
 	m.baseline[p] = m.invAcc.Get(p)
-	m.inner.Insert(it)
-	m.mu.Unlock()
 }
 
-// ApproxGetMin removes an item, recording its rank among live items and the
-// inversions it suffered while live.
-func (m *ConcurrentInstrumented) ApproxGetMin() (Item, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	it, ok := m.inner.ApproxGetMin()
-	if !ok {
-		return it, false
-	}
+// recordRemoval records the rank and inversions of a removed item. Callers
+// hold m.mu.
+func (m *ConcurrentInstrumented) recordRemoval(it Item) {
 	p := int(it.Priority)
 	rank := m.live.Rank(p)
 	m.live.Remove(p)
@@ -80,7 +72,54 @@ func (m *ConcurrentInstrumented) ApproxGetMin() (Item, bool) {
 	if p > 0 && rank > 1 {
 		m.invAcc.AddRange(0, p-1, 1)
 	}
+}
+
+// Insert adds an item and starts tracking its inversions.
+func (m *ConcurrentInstrumented) Insert(it Item) {
+	m.mu.Lock()
+	m.recordInsert(it)
+	m.inner.Insert(it)
+	m.mu.Unlock()
+}
+
+// ApproxGetMin removes an item, recording its rank among live items and the
+// inversions it suffered while live.
+func (m *ConcurrentInstrumented) ApproxGetMin() (Item, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, ok := m.inner.ApproxGetMin()
+	if !ok {
+		return it, false
+	}
+	m.recordRemoval(it)
 	return it, true
+}
+
+// InsertBatch adds a batch through the inner scheduler's batch path,
+// recording every item under a single measurement lock acquisition.
+func (m *ConcurrentInstrumented) InsertBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, it := range items {
+		m.recordInsert(it)
+	}
+	m.inner.InsertBatch(items)
+	m.mu.Unlock()
+}
+
+// ApproxPopBatch removes a batch through the inner scheduler's batch path
+// and records each removal in delivery order, exactly as a sequence of
+// single removals would have been measured.
+func (m *ConcurrentInstrumented) ApproxPopBatch(out []Item) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.inner.ApproxPopBatch(out)
+	for _, it := range out[:n] {
+		m.recordRemoval(it)
+	}
+	return n
 }
 
 // Metrics returns the relaxation statistics accumulated so far. It is safe

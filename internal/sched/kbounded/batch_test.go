@@ -1,0 +1,92 @@
+package kbounded
+
+import (
+	"testing"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+func TestBatchPopEquivalentToSingles(t *testing.T) {
+	// ApproxPopBatch must return exactly the sequence a loop of
+	// ApproxGetMin calls would, for random interleavings of inserts and
+	// pops of varying batch sizes.
+	r := rng.New(21)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + r.Intn(8)
+		single := New(k, 64)
+		batched := New(k, 64)
+		next := int32(0)
+		for step := 0; step < 40; step++ {
+			if r.Intn(2) == 0 {
+				count := 1 + r.Intn(6)
+				items := make([]sched.Item, count)
+				for i := range items {
+					items[i] = sched.Item{Task: next, Priority: uint32(r.Intn(100))}
+					next++
+				}
+				for _, it := range items {
+					single.Insert(it)
+				}
+				batched.InsertBatch(items)
+			} else {
+				want := 1 + r.Intn(6)
+				out := make([]sched.Item, want)
+				n := batched.ApproxPopBatch(out)
+				for i := 0; i < n; i++ {
+					it, ok := single.ApproxGetMin()
+					if !ok {
+						t.Fatalf("trial %d: batched returned %d items, single ran dry at %d", trial, n, i)
+					}
+					if it != out[i] {
+						t.Fatalf("trial %d: batch item %d = %v, single pop = %v", trial, i, out[i], it)
+					}
+				}
+				if n < want {
+					if it, ok := single.ApproxGetMin(); ok {
+						t.Fatalf("trial %d: batched stopped at %d but single still has %v", trial, n, it)
+					}
+				}
+			}
+			if single.Len() != batched.Len() {
+				t.Fatalf("trial %d: Len diverged: %d vs %d", trial, single.Len(), batched.Len())
+			}
+		}
+	}
+}
+
+func TestBatchPopRankStaysBounded(t *testing.T) {
+	// Every item a batch pop returns must still be among the k smallest
+	// live items at the moment it is (logically) removed.
+	const k = 4
+	q := New(k, 64)
+	for i := 63; i >= 0; i-- {
+		q.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	live := make(map[uint32]bool, 64)
+	for i := 0; i < 64; i++ {
+		live[uint32(i)] = true
+	}
+	out := make([]sched.Item, 6)
+	for {
+		n := q.ApproxPopBatch(out)
+		if n == 0 {
+			break
+		}
+		for _, it := range out[:n] {
+			rank := 1
+			for p := range live {
+				if p < it.Priority {
+					rank++
+				}
+			}
+			if rank > k {
+				t.Fatalf("item %v had rank %d > k=%d", it, rank, k)
+			}
+			delete(live, it.Priority)
+		}
+	}
+	if len(live) != 0 {
+		t.Fatalf("%d items never delivered", len(live))
+	}
+}

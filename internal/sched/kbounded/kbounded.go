@@ -36,7 +36,10 @@ type Queue struct {
 	k      int
 }
 
-var _ sched.Scheduler = (*Queue)(nil)
+var (
+	_ sched.Scheduler = (*Queue)(nil)
+	_ sched.Batcher   = (*Queue)(nil)
+)
 
 // New returns a k-bounded queue. Values of k below 1 are treated as 1, which
 // degenerates to an exact scheduler.
@@ -98,6 +101,36 @@ func (q *Queue) ApproxGetMin() (sched.Item, bool) {
 	copy(q.buffer, q.buffer[1:])
 	q.buffer = q.buffer[:len(q.buffer)-1]
 	return it, true
+}
+
+// InsertBatch adds every item, maintaining the dispatch-buffer invariant per
+// item. Under a sched.Locked wrapper the whole batch costs a single lock
+// acquisition, which is where the amortization the concurrent executor
+// relies on comes from.
+func (q *Queue) InsertBatch(items []sched.Item) {
+	for _, it := range items {
+		q.Insert(it)
+	}
+}
+
+// ApproxPopBatch removes up to len(out) items in dispatch order, exactly
+// the sequence a loop of ApproxGetMin calls returns. The buffer is
+// deliberately topped up between items: skipping the refills would leave
+// the dispatch buffer smaller than k, and a later Insert comparing against
+// the shrunken buffer maximum would route items differently — the
+// deterministic scheduler's delivery order would then depend on the batch
+// size, which would be a very surprising property.
+func (q *Queue) ApproxPopBatch(out []sched.Item) int {
+	n := 0
+	for n < len(out) {
+		it, ok := q.ApproxGetMin()
+		if !ok {
+			break
+		}
+		out[n] = it
+		n++
+	}
+	return n
 }
 
 // Len returns the number of held items.

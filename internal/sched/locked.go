@@ -10,6 +10,17 @@ import "sync"
 type Locked struct {
 	mu    sync.Mutex
 	inner Scheduler
+	// batch is inner itself when it natively supports batch operations
+	// (skipping per-item virtual calls), or a loop adapter otherwise.
+	// Either way it is only invoked while mu is held.
+	batch batchOps
+}
+
+// batchOps is the batch half of the Concurrent interface, satisfied by both
+// Batcher implementations and the loop-based batchAdapter.
+type batchOps interface {
+	InsertBatch(items []Item)
+	ApproxPopBatch(out []Item) int
 }
 
 var (
@@ -20,7 +31,13 @@ var (
 // NewLocked returns a Locked wrapper around inner. The wrapper owns inner;
 // callers must not use inner directly afterwards.
 func NewLocked(inner Scheduler) *Locked {
-	return &Locked{inner: inner}
+	l := &Locked{inner: inner}
+	if b, ok := inner.(Batcher); ok {
+		l.batch = b
+	} else {
+		l.batch = batchAdapter{Single: inner}
+	}
+	return l
 }
 
 // Insert adds an item under the lock.
@@ -35,6 +52,31 @@ func (l *Locked) ApproxGetMin() (Item, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.inner.ApproxGetMin()
+}
+
+// InsertBatch adds every item under a single lock acquisition — the whole
+// point of batching with a coarse-grained lock: the per-item cost drops to a
+// plain method call instead of an uncontended (or worse, contended)
+// lock/unlock pair.
+func (l *Locked) InsertBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.batch.InsertBatch(items)
+}
+
+// ApproxPopBatch removes up to len(out) items under a single lock
+// acquisition. Popping B items at once from a k-relaxed inner scheduler
+// relaxes the rank bound to k + B, which remains within the paper's model.
+func (l *Locked) ApproxPopBatch(out []Item) int {
+	if len(out) == 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.batch.ApproxPopBatch(out)
 }
 
 // Len returns the number of held items.

@@ -1,0 +1,20 @@
+package multiqueue
+
+import (
+	"testing"
+
+	"relaxsched/internal/sched"
+)
+
+func TestApproxGetMinDoesNotAllocate(t *testing.T) {
+	mq := NewConcurrent(4, 1024, 1)
+	for i := 0; i < 1024; i++ {
+		mq.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		mq.ApproxGetMin()
+	})
+	if allocs > 0 {
+		t.Fatalf("ApproxGetMin allocates %.1f per op", allocs)
+	}
+}

@@ -1,0 +1,157 @@
+package multiqueue
+
+import (
+	"sync"
+	"testing"
+
+	"relaxsched/internal/sched"
+)
+
+func TestConcurrentBatchNoLossNoDuplication(t *testing.T) {
+	const n = 5000
+	mq := NewConcurrent(8, n, 3)
+	batch := make([]sched.Item, 0, 16)
+	for i := 0; i < n; i++ {
+		batch = append(batch, sched.Item{Task: int32(i), Priority: uint32(i)})
+		if len(batch) == cap(batch) {
+			mq.InsertBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	mq.InsertBatch(batch)
+	if mq.Len() != n {
+		t.Fatalf("Len = %d after batch inserts, want %d", mq.Len(), n)
+	}
+
+	seen := make([]bool, n)
+	out := make([]sched.Item, 13) // deliberately not a divisor of n
+	total := 0
+	for {
+		got := mq.ApproxPopBatch(out)
+		if got == 0 {
+			break
+		}
+		for _, it := range out[:got] {
+			if seen[it.Task] {
+				t.Fatalf("task %d delivered twice", it.Task)
+			}
+			seen[it.Task] = true
+		}
+		total += got
+	}
+	if total != n {
+		t.Fatalf("drained %d items, want %d", total, n)
+	}
+	if !mq.Empty() {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestConcurrentBatchPopIsSortedAscending(t *testing.T) {
+	// A batch pop returns one sub-queue's minima in increasing priority
+	// order — the property the executor's sortBatch relies on being cheap.
+	mq := NewConcurrent(4, 256, 11)
+	for i := 255; i >= 0; i-- {
+		mq.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	out := make([]sched.Item, 32)
+	for {
+		n := mq.ApproxPopBatch(out)
+		if n == 0 {
+			break
+		}
+		for i := 1; i < n; i++ {
+			if out[i].Less(out[i-1]) {
+				t.Fatalf("batch not ascending at %d: %v", i, out[:n])
+			}
+		}
+	}
+}
+
+func TestConcurrentBatchZeroSizedRequests(t *testing.T) {
+	mq := NewConcurrent(4, 16, 1)
+	mq.InsertBatch(nil)
+	if mq.Len() != 0 {
+		t.Fatal("nil batch insert changed size")
+	}
+	mq.Insert(sched.Item{Task: 1, Priority: 1})
+	if n := mq.ApproxPopBatch(nil); n != 0 {
+		t.Fatalf("nil pop returned %d", n)
+	}
+	if mq.Len() != 1 {
+		t.Fatal("nil pop changed size")
+	}
+}
+
+func TestConcurrentBatchParallelMixedUse(t *testing.T) {
+	// Batch and single operations interleaved across goroutines: every item
+	// is delivered exactly once.
+	const producers = 4
+	const perProducer = 4000
+	const total = producers * perProducer
+	mq := NewConcurrent(8, total, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]sched.Item, 0, 8)
+			for i := 0; i < perProducer; i++ {
+				it := sched.Item{Task: int32(w*perProducer + i), Priority: uint32(i)}
+				if w%2 == 0 {
+					batch = append(batch, it)
+					if len(batch) == cap(batch) {
+						mq.InsertBatch(batch)
+						batch = batch[:0]
+					}
+				} else {
+					mq.Insert(it)
+				}
+			}
+			mq.InsertBatch(batch)
+		}(w)
+	}
+	wg.Wait()
+
+	var mu sync.Mutex
+	seen := make([]bool, total)
+	var drained int
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]sched.Item, 8)
+			for {
+				var items []sched.Item
+				if w%2 == 0 {
+					n := mq.ApproxPopBatch(out)
+					if n == 0 {
+						return
+					}
+					items = out[:n]
+				} else {
+					it, ok := mq.ApproxGetMin()
+					if !ok {
+						return
+					}
+					items = []sched.Item{it}
+				}
+				mu.Lock()
+				for _, it := range items {
+					if seen[it.Task] {
+						mu.Unlock()
+						t.Errorf("task %d delivered twice", it.Task)
+						return
+					}
+					seen[it.Task] = true
+					drained++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if drained != total {
+		t.Fatalf("drained %d items, want %d", drained, total)
+	}
+}

@@ -51,12 +51,81 @@ type Scheduler interface {
 }
 
 // Concurrent is the interface of schedulers that are safe for concurrent use
-// by multiple goroutines. A false result from ApproxGetMin means "nothing
-// found right now" and is not a reliable emptiness signal under concurrency;
-// executors track outstanding work independently.
+// by multiple goroutines. A false result from ApproxGetMin (or a zero count
+// from ApproxPopBatch) means "nothing found right now" and is not a reliable
+// emptiness signal under concurrency; executors track outstanding work
+// independently.
+//
+// The batch operations exist so executors can amortize one synchronization
+// episode (a lock acquisition, a fetch-and-add) over many items. Batching
+// relaxes further: a scheduler whose single-item removals satisfy a rank
+// bound of k serves batch removals with rank at most k + B, which still fits
+// the paper's (k, φ)-relaxed model with a larger constant. Implementations
+// without a native batch path can be adapted with WithDefaultBatch.
 type Concurrent interface {
 	Insert(Item)
 	ApproxGetMin() (Item, bool)
+	// InsertBatch adds every item in items. Implementations should perform
+	// the insertion under a single synchronization episode where possible.
+	// The slice is not retained.
+	InsertBatch(items []Item)
+	// ApproxPopBatch removes up to len(out) items, stores them in out, and
+	// returns how many were removed. A zero result means "nothing found
+	// right now", with the same caveat as ApproxGetMin.
+	ApproxPopBatch(out []Item) int
+}
+
+// Single is the minimal single-item concurrent scheduler interface — what
+// Concurrent looked like before batch operations existed. It is the input to
+// WithDefaultBatch and a convenient target for test doubles.
+type Single interface {
+	Insert(Item)
+	ApproxGetMin() (Item, bool)
+}
+
+// Batcher is the interface of sequential-model schedulers that additionally
+// provide native batch operations, so a Locked wrapper can amortize its one
+// lock acquisition over a whole batch without per-item virtual calls.
+type Batcher interface {
+	Scheduler
+	InsertBatch(items []Item)
+	ApproxPopBatch(out []Item) int
+}
+
+// batchAdapter implements the batch half of Concurrent by looping over the
+// single-item operations. It provides no amortization; it exists so that any
+// Single scheduler can be used where a Concurrent is required.
+type batchAdapter struct {
+	Single
+}
+
+func (a batchAdapter) InsertBatch(items []Item) {
+	for _, it := range items {
+		a.Insert(it)
+	}
+}
+
+func (a batchAdapter) ApproxPopBatch(out []Item) int {
+	n := 0
+	for n < len(out) {
+		it, ok := a.ApproxGetMin()
+		if !ok {
+			break
+		}
+		out[n] = it
+		n++
+	}
+	return n
+}
+
+// WithDefaultBatch adapts a single-item concurrent scheduler to the full
+// Concurrent interface using loop-based batch operations. Schedulers that
+// already implement Concurrent are returned unchanged.
+func WithDefaultBatch(s Single) Concurrent {
+	if c, ok := s.(Concurrent); ok {
+		return c
+	}
+	return batchAdapter{Single: s}
 }
 
 // Factory constructs a fresh sequential-model scheduler sized for
