@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench sweep fmt fmt-check vet check
+.PHONY: build test race bench sweep bench-smoke fuzz-smoke fmt fmt-check vet lint check
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,25 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Worker-scaling sweep: regenerates BENCH_concurrent.json (see EXPERIMENTS.md).
+# Worker-scaling sweep: regenerates BENCH_concurrent.json across the tracked
+# classes — the historical 100k G(n,p) instance, the million-vertex instance,
+# and the power-law instance (see EXPERIMENTS.md).
 sweep:
-	$(GO) run ./cmd/relaxbench -sweep -vertices 100000 -edges 1000000 -json BENCH_concurrent.json
+	$(GO) run ./cmd/relaxbench -sweep -class hundredk,million,powerlaw -json BENCH_concurrent.json
+
+# Short sweep for CI: single trial, one batch size, gated against the
+# committed BENCH_concurrent.json — fails on a >25% concurrent-MIS
+# throughput regression. Writes its results over BENCH_concurrent.json (CI
+# uploads them as an artifact; locally, git restore to discard).
+bench-smoke:
+	@cp BENCH_concurrent.json /tmp/relaxsched-bench-baseline.json
+	$(GO) run ./cmd/relaxbench -sweep -class hundredk,million -trials 1 -batches 16,64 \
+		-json BENCH_concurrent.json \
+		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
+
+# 10-second fuzz of the edge-list parser, as run by CI.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=10s -run '^FuzzReadEdgeList$$' ./internal/graph/
 
 fmt:
 	gofmt -w .
@@ -35,4 +51,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-check: fmt-check vet build test race
+# Static analysis as run by CI's lint job (on Go 1.22 and 1.23). staticcheck
+# is installed there with `go install honnef.co/go/tools/cmd/staticcheck`;
+# locally the target degrades gracefully when the binary is absent.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+check: fmt-check lint build test race

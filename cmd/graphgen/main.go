@@ -31,10 +31,14 @@ func main() {
 func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
 	var (
-		model      = fs.String("model", "gnm", "graph model: gnm, gnp, rmat, grid, complete, path, cycle, star")
-		vertices   = fs.Int("vertices", 1000, "number of vertices (gnm, gnp, complete, path, cycle, star)")
+		model      = fs.String("model", "gnm", "graph model: gnm, gnp, powerlaw, smallworld, rmat, grid, complete, path, cycle, star")
+		vertices   = fs.Int("vertices", 1000, "number of vertices (gnm, gnp, powerlaw, smallworld, complete, path, cycle, star)")
 		edges      = fs.Int64("edges", 10000, "number of edges (gnm)")
 		p          = fs.Float64("p", 0.01, "edge probability (gnp)")
+		avgDeg     = fs.Float64("avg-degree", 8, "average degree (powerlaw)")
+		exponent   = fs.Float64("exponent", 2.5, "degree-distribution exponent (powerlaw)")
+		latticeK   = fs.Int("k", 6, "lattice degree, even (smallworld)")
+		beta       = fs.Float64("beta", 0.1, "rewiring probability (smallworld)")
 		scale      = fs.Int("scale", 12, "log2 of the vertex count (rmat)")
 		edgeFactor = fs.Int("edge-factor", 8, "edges per vertex (rmat)")
 		rows       = fs.Int("rows", 100, "grid rows")
@@ -53,6 +57,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		g, err = graph.GNM(*vertices, *edges, r)
 	case "gnp":
 		g, err = graph.ParallelGNP(*vertices, *p, runtime.GOMAXPROCS(0), r)
+	case "powerlaw":
+		g, err = graph.PowerLaw(*vertices, *avgDeg, *exponent, runtime.GOMAXPROCS(0), r)
+	case "smallworld":
+		g, err = graph.ParallelWattsStrogatz(*vertices, *latticeK, *beta, runtime.GOMAXPROCS(0), r)
 	case "rmat":
 		g, err = graph.RMAT(*scale, *edgeFactor, 0.57, 0.19, 0.19, r)
 	case "grid":

@@ -97,3 +97,26 @@ func TestDeterministicForSeed(t *testing.T) {
 		t.Fatal("same seed produced different graphs")
 	}
 }
+
+func TestNewGeneratorModels(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "powerlaw", "-vertices", "500", "-avg-degree", "6", "-exponent", "2.5", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# nodes 500") {
+		t.Fatalf("powerlaw output missing header:\n%.120s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-model", "smallworld", "-vertices", "400", "-k", "4", "-beta", "0.2", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# nodes 400") {
+		t.Fatalf("smallworld output missing header:\n%.120s", out.String())
+	}
+	if err := run([]string{"-model", "powerlaw", "-vertices", "10", "-exponent", "0.5"}, &out); err == nil {
+		t.Fatal("bad powerlaw exponent accepted")
+	}
+	if err := run([]string{"-model", "smallworld", "-vertices", "10", "-k", "3"}, &out); err == nil {
+		t.Fatal("odd smallworld lattice degree accepted")
+	}
+}

@@ -49,6 +49,15 @@ func run(args []string, out io.Writer) error {
 	if *inPath == "" {
 		return fmt.Errorf("-in is required")
 	}
+	if *k < 1 {
+		return fmt.Errorf("invalid relaxation factor %d: -k must be at least 1", *k)
+	}
+	if *threads < 1 {
+		return fmt.Errorf("invalid worker count %d: -threads must be at least 1", *threads)
+	}
+	if *batch < 0 {
+		return fmt.Errorf("invalid batch size %d: -batch must be non-negative (0 = executor default)", *batch)
+	}
 	f, err := os.Open(*inPath)
 	if err != nil {
 		return fmt.Errorf("opening input: %w", err)

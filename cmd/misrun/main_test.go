@@ -96,3 +96,25 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestRunRejectsInvalidFlags(t *testing.T) {
+	path := writeTestGraph(t, 50, 100)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero k", []string{"-in", path, "-mode", "relaxed", "-k", "0"}},
+		{"negative k", []string{"-in", path, "-mode", "relaxed", "-k", "-3"}},
+		{"zero threads", []string{"-in", path, "-mode", "concurrent", "-threads", "0"}},
+		{"negative threads", []string{"-in", path, "-mode", "exact", "-threads", "-1"}},
+		{"negative batch", []string{"-in", path, "-mode", "concurrent", "-batch", "-2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}

@@ -16,9 +16,11 @@
 //
 //	relaxbench                       # all three classes, default thread sweep
 //	relaxbench -class sparse -trials 5
+//	relaxbench -class hundredk,million,powerlaw -sweep   # the tracked sweep set
 //	relaxbench -vertices 100000 -edges 1000000 -threads 1,2,4
 //	relaxbench -sweep -class sparse  # scaling sweep, writes BENCH_concurrent.json
 //	relaxbench -sweep -batches 1,16,64 -json sweep.json
+//	relaxbench -sweep -baseline BENCH_concurrent.json -max-regression 0.25
 package main
 
 import (
@@ -42,22 +44,40 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("relaxbench", flag.ContinueOnError)
 	var (
-		algo        = fs.String("algo", "mis", "workload: mis (Figure 2), coloring, matching")
-		className   = fs.String("class", "", "graph class: sparse, smalldense, largedense (default: all three)")
-		vertices    = fs.Int("vertices", 0, "custom vertex count (overrides -class)")
-		edges       = fs.Int64("edges", 0, "custom edge count (with -vertices)")
-		threadsCSV  = fs.String("threads", "", "comma-separated thread counts (default: powers of two up to GOMAXPROCS)")
-		trials      = fs.Int("trials", 3, "trials per data point")
-		queueFactor = fs.Int("queue-factor", 4, "MultiQueue sub-queues per thread")
-		batch       = fs.Int("batch", 0, "executor batch size for panel runs (0 = executor default)")
-		seed        = fs.Uint64("seed", 1, "random seed")
-		verify      = fs.Bool("verify", true, "check every parallel result against the sequential MIS")
-		sweep       = fs.Bool("sweep", false, "run the worker-scaling sweep (workers x batch sizes) instead of Figure 2 panels")
-		batchesCSV  = fs.String("batches", "", "comma-separated batch sizes for -sweep (default: 1,4,16,64)")
-		jsonPath    = fs.String("json", "BENCH_concurrent.json", "output path for the -sweep JSON report (empty: stdout table only)")
+		algo          = fs.String("algo", "mis", "workload: mis (Figure 2), coloring, matching")
+		className     = fs.String("class", "", "comma-separated graph classes: sparse, smalldense, largedense, hundredk, million, powerlaw (default: the three Figure 2 classes)")
+		vertices      = fs.Int("vertices", 0, "custom vertex count (overrides -class)")
+		edges         = fs.Int64("edges", 0, "custom edge count (with -vertices)")
+		threadsCSV    = fs.String("threads", "", "comma-separated thread counts (default: powers of two up to GOMAXPROCS)")
+		trials        = fs.Int("trials", 3, "trials per data point")
+		queueFactor   = fs.Int("queue-factor", 4, "MultiQueue sub-queues per thread")
+		batch         = fs.Int("batch", 0, "executor batch size for panel runs (0 = executor default)")
+		seed          = fs.Uint64("seed", 1, "random seed")
+		verify        = fs.Bool("verify", true, "check every parallel result against the sequential MIS")
+		sweep         = fs.Bool("sweep", false, "run the worker-scaling sweep (workers x batch sizes) instead of Figure 2 panels")
+		batchesCSV    = fs.String("batches", "", "comma-separated batch sizes for -sweep (default: 1,4,16,64)")
+		jsonPath      = fs.String("json", "BENCH_concurrent.json", "output path for the -sweep JSON report (empty: stdout table only)")
+		baseline      = fs.String("baseline", "", "baseline sweep JSON to gate against (with -sweep): fail on concurrent MIS throughput regression")
+		maxRegression = fs.Float64("max-regression", 0.25, "largest tolerated fractional throughput drop versus -baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *vertices < 0 {
+		return fmt.Errorf("invalid vertex count %d: must be positive", *vertices)
+	}
+	if *vertices > 0 && *edges < 0 {
+		return fmt.Errorf("invalid edge count %d: must be non-negative", *edges)
+	}
+	if *trials < 1 {
+		return fmt.Errorf("invalid trial count %d: must be at least 1", *trials)
+	}
+	if *queueFactor < 1 {
+		return fmt.Errorf("invalid queue factor %d: must be at least 1", *queueFactor)
+	}
+	if *batch < 0 {
+		return fmt.Errorf("invalid batch size %d: must be non-negative (0 = executor default)", *batch)
 	}
 
 	threads, err := parseInts(*threadsCSV, "thread count")
@@ -70,17 +90,22 @@ func run(args []string, out io.Writer) error {
 	case *vertices > 0:
 		classes = []bench.Class{{Name: "custom", Vertices: *vertices, Edges: *edges}}
 	case *className != "":
-		c, err := bench.ClassByName(*className)
-		if err != nil {
-			return err
+		for _, name := range strings.Split(*className, ",") {
+			c, err := bench.ClassByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			classes = append(classes, c)
 		}
-		classes = []bench.Class{c}
 	default:
 		classes = bench.DefaultClasses()
 	}
 
 	if !*sweep && *batchesCSV != "" {
 		return fmt.Errorf("-batches requires -sweep (use -batch for a single panel batch size)")
+	}
+	if !*sweep && *baseline != "" {
+		return fmt.Errorf("-baseline requires -sweep")
 	}
 	if *sweep {
 		if *batch != 0 && *batchesCSV != "" {
@@ -104,7 +129,7 @@ func run(args []string, out io.Writer) error {
 			QueueFactor: *queueFactor,
 			Seed:        *seed,
 			Verify:      *verify,
-		}, *jsonPath)
+		}, *jsonPath, *baseline, *maxRegression)
 	}
 
 	for _, class := range classes {
@@ -129,8 +154,10 @@ func run(args []string, out io.Writer) error {
 }
 
 // runSweep executes the scaling sweep for every class, prints the table per
-// class, and writes all reports as one JSON array to jsonPath.
-func runSweep(out io.Writer, classes []bench.Class, cfg bench.ScalingConfig, jsonPath string) error {
+// class, writes all reports as one JSON array to jsonPath, and — when a
+// baseline is given — fails on a concurrent MIS throughput regression beyond
+// maxRegression.
+func runSweep(out io.Writer, classes []bench.Class, cfg bench.ScalingConfig, jsonPath, baseline string, maxRegression float64) error {
 	reports := make([]bench.ScalingReport, 0, len(classes))
 	for _, class := range classes {
 		cfg.Class = class
@@ -149,21 +176,31 @@ func runSweep(out io.Writer, classes []bench.Class, cfg bench.ScalingConfig, jso
 		fmt.Fprint(out, "\n\n")
 		reports = append(reports, report)
 	}
-	if jsonPath == "" {
-		return nil
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", jsonPath, err)
+		}
+		if err := bench.WriteScalingReports(f, reports); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", jsonPath, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonPath, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
 	}
-	f, err := os.Create(jsonPath)
-	if err != nil {
-		return fmt.Errorf("creating %s: %w", jsonPath, err)
+	if baseline != "" {
+		base, err := bench.ReadScalingReportsFile(baseline)
+		if err != nil {
+			return err
+		}
+		if err := bench.CheckRegression(reports, base, bench.SchedulerRelaxed, maxRegression); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "regression gate passed: %s within %.0f%% of %s\n",
+			bench.SchedulerRelaxed, 100*maxRegression, baseline)
 	}
-	if err := bench.WriteScalingReports(f, reports); err != nil {
-		f.Close()
-		return fmt.Errorf("writing %s: %w", jsonPath, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("writing %s: %w", jsonPath, err)
-	}
-	fmt.Fprintf(out, "wrote %s\n", jsonPath)
 	return nil
 }
 

@@ -132,3 +132,99 @@ func TestRunSweepWritesJSON(t *testing.T) {
 		t.Fatalf("missing sweep summary:\n%s", out.String())
 	}
 }
+
+func TestRunRejectsInvalidFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative vertices", []string{"-vertices", "-5"}},
+		{"negative edges", []string{"-vertices", "100", "-edges", "-1"}},
+		{"zero trials", []string{"-vertices", "100", "-edges", "200", "-trials", "0"}},
+		{"negative trials", []string{"-vertices", "100", "-edges", "200", "-trials", "-2"}},
+		{"zero queue factor", []string{"-vertices", "100", "-edges", "200", "-queue-factor", "0"}},
+		{"negative batch", []string{"-vertices", "100", "-edges", "200", "-batch", "-4"}},
+		{"bad thread list", []string{"-vertices", "100", "-edges", "200", "-threads", "1,0"}},
+		{"unknown class", []string{"-class", "galaxy"}},
+		{"baseline without sweep", []string{"-vertices", "100", "-edges", "200", "-baseline", "x.json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+func TestSweepBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/sweep.json"
+	args := []string{
+		"-sweep", "-vertices", "2000", "-edges", "8000", "-threads", "1",
+		"-batches", "16", "-trials", "1", "-seed", "7", "-json", jsonPath,
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Gating against the sweep's own output must always pass.
+	var out2 bytes.Buffer
+	if err := run(append(args, "-baseline", jsonPath, "-json", dir+"/second.json"), &out2); err != nil {
+		t.Fatalf("self-baseline gate failed: %v", err)
+	}
+	if !strings.Contains(out2.String(), "regression gate passed") {
+		t.Fatalf("missing gate confirmation:\n%s", out2.String())
+	}
+	// An impossible baseline must fail the gate.
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []bench.ScalingReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		for j := range reports[i].Points {
+			reports[i].Points[j].ThroughputTasksPerSec *= 1000
+		}
+	}
+	inflated, err := json.Marshal(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPath := dir + "/inflated.json"
+	if err := os.WriteFile(badPath, inflated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out3 bytes.Buffer
+	if err := run(append(args, "-baseline", badPath, "-json", dir+"/third.json"), &out3); err == nil {
+		t.Fatal("1000x-inflated baseline passed the regression gate")
+	}
+}
+
+func TestSweepClassList(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/sweep.json"
+	var out bytes.Buffer
+	err := run([]string{
+		"-sweep", "-class", "powerlaw", "-threads", "1", "-batches", "16",
+		"-trials", "1", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []bench.ScalingReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Class != "powerlaw" || reports[0].Model != "powerlaw" {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+}

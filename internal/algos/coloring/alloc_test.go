@@ -1,0 +1,48 @@
+package coloring
+
+import (
+	"testing"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+// plainState is a minimal core.State for allocation tests.
+type plainState struct {
+	labels    []uint32
+	processed []bool
+}
+
+func (s *plainState) NumTasks() int        { return len(s.labels) }
+func (s *plainState) Processed(v int) bool { return s.processed[v] }
+func (s *plainState) Label(v int) uint32   { return s.labels[v] }
+
+// TestHotLoopsZeroAllocs asserts the coloring hot loops scan the CSR
+// adjacency without allocating: Blocked always, and Process as long as the
+// neighbor colors fit its on-stack scratch (true on bounded-degree inputs).
+func TestHotLoopsZeroAllocs(t *testing.T) {
+	r := rng.New(7)
+	g, err := graph.GNM(2000, 20000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	st := &plainState{labels: core.RandomLabels(n, r), processed: make([]bool, n)}
+	inst := New(g).NewInstance(st).(*Instance)
+
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < n; v++ {
+			_ = inst.Blocked(v)
+		}
+	}); avg != 0 {
+		t.Fatalf("Blocked allocated %.1f times per full scan, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < n; v++ {
+			inst.Process(v)
+		}
+	}); avg != 0 {
+		t.Fatalf("Process allocated %.1f times per full scan, want 0", avg)
+	}
+}

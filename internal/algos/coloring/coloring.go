@@ -40,16 +40,18 @@ func (p *Problem) NewInstance(st core.State) core.Instance {
 	for i := range colors {
 		colors[i] = NoColor
 	}
-	return &Instance{g: p.g, st: st, colors: colors}
+	return &Instance{g: p.g, st: st, labels: core.LabelsOf(st), colors: colors}
 }
 
 // Instance is a bound coloring execution. Concurrent workers only ever read
 // the color of a processed neighbor, and the framework's processed bit
 // provides the necessary happens-before edge, so plain (non-atomic) color
-// storage is safe.
+// storage is safe. The priority labels are held as a flat slice so the hot
+// loops read them without an interface dispatch per neighbor.
 type Instance struct {
 	g      *graph.Graph
 	st     core.State
+	labels []uint32
 	colors []int32
 }
 
@@ -57,9 +59,9 @@ var _ core.Instance = (*Instance)(nil)
 
 // Blocked reports whether v still has an uncolored higher-priority neighbor.
 func (inst *Instance) Blocked(v int) bool {
-	lv := inst.st.Label(v)
+	lv := inst.labels[v]
 	for _, u := range inst.g.Neighbors(v) {
-		if inst.st.Label(int(u)) < lv && !inst.st.Processed(int(u)) {
+		if inst.labels[u] < lv && !inst.st.Processed(int(u)) {
 			return true
 		}
 	}
@@ -70,12 +72,15 @@ func (inst *Instance) Blocked(v int) bool {
 func (inst *Instance) Dead(int) bool { return false }
 
 // Process assigns v the smallest color unused among its higher-priority
-// neighbors.
+// neighbors. The used-color scratch lives on the stack for vertices whose
+// neighbors use fewer than 128 colors, so the hot loop over the CSR
+// adjacency does not allocate on bounded-degree graphs.
 func (inst *Instance) Process(v int) {
-	lv := inst.st.Label(v)
-	used := make([]bool, 0, inst.g.Degree(v)+1)
+	lv := inst.labels[v]
+	var scratch [128]bool
+	used := scratch[:0]
 	for _, u := range inst.g.Neighbors(v) {
-		if inst.st.Label(int(u)) >= lv {
+		if inst.labels[u] >= lv {
 			continue
 		}
 		c := inst.colors[u]

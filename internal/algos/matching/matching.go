@@ -23,11 +23,14 @@ import (
 )
 
 // Problem is the greedy maximal matching problem on a graph, with one task
-// per edge. It implements core.Problem.
+// per edge. It implements core.Problem. The edge-incidence index is stored
+// as a flat CSR pair (offsets + ids), matching the graph core's layout so
+// the Blocked hot loop scans one contiguous run per endpoint.
 type Problem struct {
-	g        *graph.Graph
-	edges    []graph.Edge
-	incident [][]int32 // incident[v] lists edge ids incident to vertex v
+	g      *graph.Graph
+	edges  []graph.Edge
+	incOff []uint32 // len n+1; ids incident to v are incIDs[incOff[v]:incOff[v+1]]
+	incIDs []int32
 }
 
 var _ core.Problem = (*Problem)(nil)
@@ -35,12 +38,13 @@ var _ core.Problem = (*Problem)(nil)
 // New returns the greedy matching problem for g.
 func New(g *graph.Graph) *Problem {
 	edges := g.Edges()
-	incident := make([][]int32, g.NumVertices())
-	for id, e := range edges {
-		incident[e.U] = append(incident[e.U], int32(id))
-		incident[e.V] = append(incident[e.V], int32(id))
-	}
-	return &Problem{g: g, edges: edges, incident: incident}
+	incOff, incIDs := graph.IncidenceCSR(g, edges)
+	return &Problem{g: g, edges: edges, incOff: incOff, incIDs: incIDs}
+}
+
+// incident returns the ids of the edges incident to vertex v.
+func (p *Problem) incident(v int32) []int32 {
+	return p.incIDs[p.incOff[v]:p.incOff[v+1]]
 }
 
 // NumTasks returns the number of edges.
@@ -55,15 +59,19 @@ func (p *Problem) NewInstance(st core.State) core.Instance {
 	return &Instance{
 		p:             p,
 		st:            st,
+		labels:        core.LabelsOf(st),
 		inMatching:    bitset.NewAtomic(len(p.edges)),
 		vertexMatched: bitset.NewAtomic(p.g.NumVertices()),
 	}
 }
 
-// Instance is a bound matching execution, safe for concurrent use.
+// Instance is a bound matching execution, safe for concurrent use. The
+// priority labels are held as a flat slice so the Blocked scan over the
+// incidence CSR reads them without an interface dispatch per entry.
 type Instance struct {
 	p             *Problem
 	st            core.State
+	labels        []uint32
 	inMatching    *bitset.Atomic
 	vertexMatched *bitset.Atomic
 }
@@ -73,15 +81,15 @@ var _ core.Instance = (*Instance)(nil)
 // Blocked reports whether edge task e still has a live incident
 // higher-priority edge.
 func (inst *Instance) Blocked(e int) bool {
-	le := inst.st.Label(e)
+	le := inst.labels[e]
 	edge := inst.p.edges[e]
 	for _, endpoint := range [2]int32{edge.U, edge.V} {
-		for _, f := range inst.p.incident[endpoint] {
+		for _, f := range inst.p.incident(endpoint) {
 			fi := int(f)
 			if fi == e {
 				continue
 			}
-			if inst.st.Label(fi) < le && !inst.st.Processed(fi) && !inst.dead(fi) {
+			if inst.labels[fi] < le && !inst.st.Processed(fi) && !inst.dead(fi) {
 				return true
 			}
 		}

@@ -1,0 +1,49 @@
+package mis
+
+import (
+	"testing"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+// plainState is a minimal core.State for allocation tests: slice-backed, no
+// synchronization, nothing that could allocate on the query path.
+type plainState struct {
+	labels    []uint32
+	processed []bool
+}
+
+func (s *plainState) NumTasks() int        { return len(s.labels) }
+func (s *plainState) Processed(v int) bool { return s.processed[v] }
+func (s *plainState) Label(v int) uint32   { return s.labels[v] }
+
+// TestHotLoopsZeroAllocs pins the CSR payoff the allocation profile depends
+// on: a Blocked or Process call scans one contiguous neighbors run and must
+// not allocate, no matter how many vertices are scanned.
+func TestHotLoopsZeroAllocs(t *testing.T) {
+	r := rng.New(99)
+	g, err := graph.GNM(2000, 20000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	st := &plainState{labels: core.RandomLabels(n, r), processed: make([]bool, n)}
+	inst := New(g).NewInstance(st).(*Instance)
+
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < n; v++ {
+			_ = inst.Blocked(v)
+		}
+	}); avg != 0 {
+		t.Fatalf("Blocked allocated %.1f times per full scan, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < n; v++ {
+			inst.Process(v)
+		}
+	}); avg != 0 {
+		t.Fatalf("Process allocated %.1f times per full scan, want 0", avg)
+	}
+}

@@ -39,30 +39,34 @@ func (p *Problem) NumTasks() int { return p.g.NumVertices() }
 func (p *Problem) NewInstance(st core.State) core.Instance {
 	n := p.g.NumVertices()
 	return &Instance{
-		g:     p.g,
-		st:    st,
-		inSet: bitset.NewAtomic(n),
-		dead:  bitset.NewAtomic(n),
+		g:      p.g,
+		st:     st,
+		labels: core.LabelsOf(st),
+		inSet:  bitset.NewAtomic(n),
+		dead:   bitset.NewAtomic(n),
 	}
 }
 
 // Instance is a bound MIS execution. It is safe for concurrent use by the
-// framework's worker goroutines.
+// framework's worker goroutines. The priority labels are held as a flat
+// slice so the Blocked scan over the CSR adjacency reads them without an
+// interface dispatch per neighbor.
 type Instance struct {
-	g     *graph.Graph
-	st    core.State
-	inSet *bitset.Atomic
-	dead  *bitset.Atomic
+	g      *graph.Graph
+	st     core.State
+	labels []uint32
+	inSet  *bitset.Atomic
+	dead   *bitset.Atomic
 }
 
 var _ core.Instance = (*Instance)(nil)
 
 // Blocked reports whether v still has a live higher-priority neighbor.
 func (inst *Instance) Blocked(v int) bool {
-	lv := inst.st.Label(v)
+	lv := inst.labels[v]
 	for _, u := range inst.g.Neighbors(v) {
 		w := int(u)
-		if inst.st.Label(w) < lv && !inst.st.Processed(w) && !inst.dead.Get(w) {
+		if inst.labels[w] < lv && !inst.st.Processed(w) && !inst.dead.Get(w) {
 			return true
 		}
 	}

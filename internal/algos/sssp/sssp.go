@@ -62,7 +62,7 @@ func Dijkstra(g *graph.Graph, w *graph.Weights, src int) ([]uint32, error) {
 		}
 		base := g.AdjOffset(int(e.v))
 		for i, u := range g.Neighbors(int(e.v)) {
-			nd := e.d + w.At(base+int64(i))
+			nd := e.d + w.At(base+i)
 			if nd < dist[u] {
 				dist[u] = nd
 				h.push(distEntry{v: u, d: nd})
@@ -105,7 +105,7 @@ func RunRelaxed(g *graph.Graph, w *graph.Weights, src int, s sched.Scheduler) ([
 		d := dist[v]
 		base := g.AdjOffset(v)
 		for i, u := range g.Neighbors(v) {
-			nd := d + w.At(base+int64(i))
+			nd := d + w.At(base+i)
 			if nd < dist[u] {
 				dist[u] = nd
 				st.Relaxations++
@@ -174,7 +174,7 @@ func RunConcurrent(g *graph.Graph, w *graph.Weights, src int, s sched.Concurrent
 				d := dist[v].Load()
 				base := g.AdjOffset(v)
 				for i, u := range g.Neighbors(v) {
-					nd := d + w.At(base+int64(i))
+					nd := d + w.At(base+i)
 					for {
 						cur := dist[u].Load()
 						if nd >= cur {
@@ -234,7 +234,7 @@ func Verify(g *graph.Graph, w *graph.Weights, src int, dist []uint32) error {
 		}
 		tight := v == src
 		for i, u := range g.Neighbors(v) {
-			wt := w.At(base + int64(i))
+			wt := w.At(base + i)
 			if dist[u] != Unreachable && dist[u]+wt < dist[v] {
 				return fmt.Errorf("sssp: edge (%d,%d) violates optimality: %d + %d < %d", u, v, dist[u], wt, dist[v])
 			}

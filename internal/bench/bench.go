@@ -34,14 +34,29 @@ import (
 	"relaxsched/internal/stats"
 )
 
+// Graph models selectable per class.
+const (
+	// ModelGNP is the Erdős–Rényi G(n, p) model of Figure 2 (the default).
+	ModelGNP = "gnp"
+	// ModelPowerLaw is the Chung–Lu power-law model: heavy-tailed degrees
+	// with a few very high-degree hubs, the degree profile of web/social
+	// graphs and a harsher dependency structure for MIS and coloring.
+	ModelPowerLaw = "powerlaw"
+)
+
 // Class describes one of Figure 2's graph classes.
 type Class struct {
-	// Name identifies the class ("sparse", "smalldense", "largedense").
+	// Name identifies the class ("sparse", "smalldense", "largedense", ...).
 	Name string
 	// Vertices and Edges give the scaled-down instance size. The ratio
 	// Edges/Vertices (the average degree) is what distinguishes the classes.
 	Vertices int
 	Edges    int64
+	// Model selects the generator: ModelGNP (default when empty) or
+	// ModelPowerLaw.
+	Model string
+	// Exponent is the power-law exponent for ModelPowerLaw (default 2.5).
+	Exponent float64
 }
 
 // AverageDegree returns 2*Edges/Vertices.
@@ -65,9 +80,22 @@ func DefaultClasses() []Class {
 	}
 }
 
-// ClassByName returns the default class with the given name.
+// SweepClasses returns the classes tracked by the worker-scaling sweep
+// behind BENCH_concurrent.json: the 100k-vertex G(n,p) instance the sweep
+// has always measured, a million-vertex G(n,p) instance (the large-graph
+// throughput track), and a power-law instance exercising hub-heavy
+// dependency structure.
+func SweepClasses() []Class {
+	return []Class{
+		{Name: "hundredk", Vertices: 100_000, Edges: 1_000_000},
+		{Name: "million", Vertices: 1_000_000, Edges: 10_000_000},
+		{Name: "powerlaw", Vertices: 200_000, Edges: 2_000_000, Model: ModelPowerLaw, Exponent: 2.5},
+	}
+}
+
+// ClassByName returns the named class from DefaultClasses or SweepClasses.
 func ClassByName(name string) (Class, error) {
-	for _, c := range DefaultClasses() {
+	for _, c := range append(DefaultClasses(), SweepClasses()...) {
 		if c.Name == name {
 			return c, nil
 		}
@@ -179,10 +207,25 @@ func buildPanel(class Class, alg Algorithm, trials int, seed uint64) (*workload,
 	r := rng.New(seed ^ 0xbe9cbe9cbe9cbe9c)
 
 	// The paper generates each input graph with all available threads
-	// regardless of the thread count under test; ParallelGNP mirrors that.
+	// regardless of the thread count under test; the parallel generators
+	// mirror that and emit CSR shards directly.
 	n := class.Vertices
-	p := float64(2*class.Edges) / (float64(n) * float64(n-1))
-	g, err := graph.ParallelGNP(n, p, runtime.GOMAXPROCS(0), r)
+	var g *graph.Graph
+	var err error
+	switch class.Model {
+	case "", ModelGNP:
+		p := float64(2*class.Edges) / (float64(n) * float64(n-1))
+		g, err = graph.ParallelGNP(n, p, runtime.GOMAXPROCS(0), r)
+	case ModelPowerLaw:
+		exponent := class.Exponent
+		if exponent == 0 {
+			exponent = 2.5
+		}
+		avgDeg := 2 * float64(class.Edges) / float64(n)
+		g, err = graph.PowerLaw(n, avgDeg, exponent, runtime.GOMAXPROCS(0), r)
+	default:
+		err = fmt.Errorf("unknown graph model %q", class.Model)
+	}
 	if err != nil {
 		return nil, stats.Summary{}, 0, fmt.Errorf("bench: generating %s graph: %w", class.Name, err)
 	}

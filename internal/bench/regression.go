@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadScalingReports parses a JSON array of sweep reports as written by
+// WriteScalingReports (the layout of BENCH_concurrent.json).
+func ReadScalingReports(r io.Reader) ([]ScalingReport, error) {
+	var reports []ScalingReport
+	if err := json.NewDecoder(r).Decode(&reports); err != nil {
+		return nil, fmt.Errorf("bench: parsing sweep reports: %w", err)
+	}
+	return reports, nil
+}
+
+// ReadScalingReportsFile reads a sweep-report JSON file.
+func ReadScalingReportsFile(path string) ([]ScalingReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: opening baseline: %w", err)
+	}
+	defer f.Close()
+	return ReadScalingReports(f)
+}
+
+// CheckRegression compares the best throughput the given scheduler reached
+// in each current report against the baseline report for the same class and
+// algorithm, and returns an error naming every class whose throughput
+// dropped by more than maxRegression (a fraction, e.g. 0.25 for 25%).
+// Classes absent from the baseline are skipped, so new sweep classes can be
+// introduced without updating the baseline first.
+func CheckRegression(current, baseline []ScalingReport, scheduler string, maxRegression float64) error {
+	if maxRegression < 0 || maxRegression >= 1 {
+		return fmt.Errorf("bench: max regression %v out of [0,1)", maxRegression)
+	}
+	baseBest := make(map[string]float64, len(baseline))
+	for _, rep := range baseline {
+		baseBest[rep.Class+"/"+rep.Algorithm] = rep.BestThroughput(scheduler)
+	}
+	var failures []string
+	for _, rep := range current {
+		base, ok := baseBest[rep.Class+"/"+rep.Algorithm]
+		if !ok || base <= 0 {
+			continue
+		}
+		got := rep.BestThroughput(scheduler)
+		floor := (1 - maxRegression) * base
+		if got < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s: %s throughput %.0f tasks/s is below %.0f (baseline %.0f, max regression %.0f%%)",
+				rep.Class, rep.Algorithm, scheduler, got, floor, base, 100*maxRegression))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: throughput regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

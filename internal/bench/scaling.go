@@ -108,6 +108,7 @@ type ScalingReport struct {
 	Class     string `json:"class"`
 	Vertices  int    `json:"vertices"`
 	Edges     int64  `json:"edges"`
+	Model     string `json:"model,omitempty"`
 	Algorithm string `json:"algorithm"`
 	Tasks     int    `json:"tasks"`
 	NumCPU    int    `json:"num_cpu"`
@@ -132,10 +133,15 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 		return ScalingReport{}, err
 	}
 
+	model := cfg.Class.Model
+	if model == "" {
+		model = ModelGNP
+	}
 	report := ScalingReport{
 		Class:             cfg.Class.Name,
 		Vertices:          cfg.Class.Vertices,
 		Edges:             cfg.Class.Edges,
+		Model:             model,
 		Algorithm:         string(cfg.Algorithm),
 		Tasks:             w.numTasks,
 		NumCPU:            runtime.NumCPU(),

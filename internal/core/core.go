@@ -43,6 +43,30 @@ type State interface {
 	Label(v int) uint32
 }
 
+// LabelView is an optional State extension: states whose labels live in a
+// flat slice expose it so per-neighbor hot loops can read labels without an
+// interface call per entry. The returned slice is the fixed priority
+// permutation and must not be modified.
+type LabelView interface {
+	Labels() []uint32
+}
+
+// LabelsOf returns the flat label slice of st, borrowing it via LabelView
+// when available and materializing a copy with n Label queries otherwise.
+// Problem instances call it once at binding time so their Blocked/Process
+// loops index a slice instead of dispatching through the State interface for
+// every neighbor scanned.
+func LabelsOf(st State) []uint32 {
+	if lv, ok := st.(LabelView); ok {
+		return lv.Labels()
+	}
+	labels := make([]uint32, st.NumTasks())
+	for v := range labels {
+		labels[v] = st.Label(v)
+	}
+	return labels
+}
+
 // Problem describes an iterative algorithm with explicit dependencies.
 // Implementations live in the algos sub-packages (MIS, matching, coloring,
 // list contraction, Knuth shuffle).

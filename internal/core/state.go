@@ -17,6 +17,7 @@ func newSeqState(labels []uint32) *seqState {
 func (s *seqState) NumTasks() int        { return len(s.labels) }
 func (s *seqState) Processed(v int) bool { return s.processed.Get(v) }
 func (s *seqState) Label(v int) uint32   { return s.labels[v] }
+func (s *seqState) Labels() []uint32     { return s.labels }
 func (s *seqState) markProcessed(v int)  { s.processed.Set(v) }
 
 // concState is the State implementation used by RunConcurrent. Processed
@@ -36,4 +37,5 @@ func newConcState(labels []uint32) *concState {
 func (s *concState) NumTasks() int        { return len(s.labels) }
 func (s *concState) Processed(v int) bool { return s.processed.Get(v) }
 func (s *concState) Label(v int) uint32   { return s.labels[v] }
+func (s *concState) Labels() []uint32     { return s.labels }
 func (s *concState) markProcessed(v int)  { s.processed.Set(v) }

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"runtime"
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+// benchEdges generates a reproducible G(n,p) edge list (not the graph) so
+// construction benchmarks measure only the CSR build.
+func benchEdges(b *testing.B, n int, m int64) []Edge {
+	b.Helper()
+	p := float64(2*m) / (float64(n) * float64(n-1))
+	r := rng.New(0xc5f)
+	edges := gnpEdgeRange(n, p, 0, n, r)
+	if len(edges) == 0 {
+		b.Fatal("no edges generated")
+	}
+	return edges
+}
+
+// BenchmarkCSRBuild measures CSR construction from a flat edge list — the
+// path every generator and the edge-list reader go through.
+func BenchmarkCSRBuild(b *testing.B) {
+	const n = 100_000
+	edges := benchEdges(b, n, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := FromEdges(n, edges)
+		if g.NumVertices() != n {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+// BenchmarkParallelGNP measures end-to-end parallel generation of the sweep's
+// 100k-vertex G(n,p) input.
+func BenchmarkParallelGNP(b *testing.B) {
+	const n = 100_000
+	p := float64(2*1_000_000) / (float64(n) * float64(n-1))
+	r := rng.New(0xc5f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := ParallelGNP(n, p, runtime.GOMAXPROCS(0), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumVertices() != n {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+// BenchmarkNeighborScan measures the MIS/coloring hot loop shape: a full
+// sweep over every vertex's adjacency list reading neighbor ids.
+func BenchmarkNeighborScan(b *testing.B) {
+	const n = 100_000
+	g := FromEdges(n, benchEdges(b, n, 1_000_000))
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				sink += int64(u)
+			}
+		}
+	}
+	if sink == 42 {
+		b.Fatal("impossible")
+	}
+}

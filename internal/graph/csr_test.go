@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+// graphsEqual reports whether two graphs have identical CSR content.
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		x, y := a.Neighbors(v), b.Neighbors(v)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFromEdgePartsMatchesFromEdges(t *testing.T) {
+	r := rng.New(31)
+	const n = 500
+	var all []Edge
+	parts := make([][]Edge, 4)
+	for i := 0; i < 3000; i++ {
+		e := Edge{U: int32(r.Intn(n)), V: int32(r.Intn(n))}
+		all = append(all, e)
+		parts[i%len(parts)] = append(parts[i%len(parts)], e)
+	}
+	// Duplicate some edges across different shards and inject self-loops.
+	for i := 0; i < 200; i++ {
+		e := all[r.Intn(len(all))]
+		p := r.Intn(len(parts))
+		parts[p] = append(parts[p], e, Edge{U: e.V, V: e.U})
+		all = append(all, e, Edge{U: e.V, V: e.U})
+	}
+	parts[0] = append(parts[0], Edge{U: 7, V: 7})
+	all = append(all, Edge{U: 7, V: 7})
+
+	got, err := FromEdgeParts(n, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := FromEdges(n, all)
+	if !graphsEqual(got, want) {
+		t.Fatalf("FromEdgeParts disagrees with FromEdges: %v vs %v", got, want)
+	}
+}
+
+func TestFromEdgePartsEmpty(t *testing.T) {
+	g, err := FromEdgeParts(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty build produced %v", g)
+	}
+	g, err = FromEdgeParts(5, [][]Edge{nil, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("edgeless build produced %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgePartsErrors(t *testing.T) {
+	if _, err := FromEdgeParts(-1, nil); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+}
+
+func TestFromEdgesDedupAcrossManyChunks(t *testing.T) {
+	// Force the same edge into every chunk position: the dedup pass must
+	// collapse all copies no matter which chunk counted them.
+	const n = 100
+	edges := make([]Edge, 0, 100_000)
+	for i := 0; i < 100_000; i++ {
+		edges = append(edges, Edge{U: int32(i % n), V: int32((i + 1) % n)})
+	}
+	g := FromEdges(n, edges)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != n {
+		t.Fatalf("cycle multigraph deduped to %d edges, want %d", g.NumEdges(), n)
+	}
+}
+
+func TestSplitEdgeChunksRespectsTarget(t *testing.T) {
+	// Many small shards must not inflate the chunk count past the target:
+	// every chunk costs a vertex-sized counter array during construction.
+	parts := make([][]Edge, 16)
+	for i := range parts {
+		parts[i] = make([]Edge, 5)
+	}
+	for _, target := range []int{1, 2, 3, 8, 40} {
+		chunks := splitEdgeChunks(parts, target)
+		if len(chunks) > target {
+			t.Fatalf("target %d produced %d chunks", target, len(chunks))
+		}
+		total := 0
+		for _, chunk := range chunks {
+			for _, span := range chunk {
+				total += len(span)
+			}
+		}
+		if total != 80 {
+			t.Fatalf("target %d chunks cover %d edges, want 80", target, total)
+		}
+	}
+}
+
+func TestVertexRangesCoverAllVertices(t *testing.T) {
+	g := FromEdges(50, []Edge{{U: 0, V: 49}, {U: 1, V: 2}, {U: 10, V: 20}})
+	for _, workers := range []int{1, 2, 7, 64} {
+		ranges := vertexRanges(g.offsets, workers)
+		next := 0
+		for _, rg := range ranges {
+			if rg.lo != next || rg.hi < rg.lo {
+				t.Fatalf("workers=%d: ranges %v do not tile [0,50)", workers, ranges)
+			}
+			next = rg.hi
+		}
+		if next != 50 {
+			t.Fatalf("workers=%d: ranges %v end at %d, want 50", workers, ranges, next)
+		}
+	}
+}

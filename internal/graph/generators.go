@@ -28,7 +28,8 @@ func GNP(n int, p float64, r *rng.Rand) (*Graph, error) {
 // the paper's parallel graph generation (the paper generates its inputs with
 // all 144 hardware threads regardless of the thread count under test).
 // Each worker owns a contiguous range of source vertices and an independent
-// random stream forked from r.
+// random stream forked from r, and its edge shard feeds the parallel CSR
+// builder directly — no global edge concatenation or sort.
 func ParallelGNP(n int, p float64, workers int, r *rng.Rand) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
@@ -68,15 +69,7 @@ func ParallelGNP(n int, p float64, workers int, r *rng.Rand) (*Graph, error) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	total := 0
-	for _, part := range parts {
-		total += len(part)
-	}
-	edges := make([]Edge, 0, total)
-	for _, part := range parts {
-		edges = append(edges, part...)
-	}
-	return FromEdges(n, edges), nil
+	return FromEdgeParts(n, parts)
 }
 
 // gnpEdgeRange samples G(n,p) edges (u, v) with u in [lo, hi) and v > u using
@@ -122,6 +115,9 @@ func GNM(n int, m int64, r *rng.Rand) (*Graph, error) {
 	maxEdges := int64(n) * int64(n-1) / 2
 	if m < 0 || m > maxEdges {
 		return nil, fmt.Errorf("graph: cannot place %d edges in a simple graph on %d vertices (max %d)", m, n, maxEdges)
+	}
+	if 2*m > MaxAdjEntries {
+		return nil, ErrTooManyEdges
 	}
 	// For sparse requests sample pairs with rejection; for dense requests
 	// (more than half of all pairs) sample the complement instead so the
@@ -247,6 +243,9 @@ func RMAT(scale int, edgeFactor int, a, b, c float64, r *rng.Rand) (*Graph, erro
 	}
 	n := 1 << uint(scale)
 	target := int64(edgeFactor) * int64(n)
+	if target < 0 || 2*target > MaxAdjEntries {
+		return nil, fmt.Errorf("graph: RMAT edge factor %d requests %d edges: %w", edgeFactor, target, ErrTooManyEdges)
+	}
 	edges := make([]Edge, 0, target)
 	for i := int64(0); i < target; i++ {
 		u, v := 0, 0
@@ -281,6 +280,9 @@ func RandomBipartite(left, right int, edges int64, r *rng.Rand) (*Graph, error) 
 	maxEdges := int64(left) * int64(right)
 	if edges < 0 || edges > maxEdges {
 		return nil, fmt.Errorf("graph: cannot place %d edges in a %dx%d bipartite graph", edges, left, right)
+	}
+	if 2*edges > MaxAdjEntries {
+		return nil, ErrTooManyEdges
 	}
 	chosen := make(map[uint64]bool, edges)
 	for int64(len(chosen)) < edges {

@@ -1,12 +1,18 @@
 // Package graph provides the graph substrate used by every algorithm in this
 // library: a compact CSR (compressed sparse row) representation of undirected
-// graphs, builders, random and structured generators, the line-graph
+// graphs, parallel builders, random and structured generators, the line-graph
 // transformation used to reduce maximal matching to MIS, edge-list I/O, and
 // deterministic edge weights for shortest-path workloads.
 //
 // Vertices are dense integers in [0, N). Graphs are simple (no self-loops,
 // no parallel edges) and undirected; each undirected edge {u, v} appears in
 // the adjacency of both endpoints.
+//
+// The CSR core is a single flat offsets []uint32 / neighbors []int32 pair:
+// the adjacency of v is neighbors[offsets[v]:offsets[v+1]], sorted. The
+// 32-bit offsets halve the index-array footprint relative to 64-bit offsets,
+// which keeps more of the hot index data in cache on million-vertex graphs,
+// at the cost of capping the adjacency array at MaxAdjEntries entries.
 package graph
 
 import (
@@ -19,6 +25,10 @@ import (
 // int32 in adjacency arrays to halve memory traffic on large graphs.
 const MaxVertices = 1 << 31
 
+// MaxAdjEntries is the largest supported length of the flat adjacency array
+// (twice the number of undirected edges), imposed by the 32-bit offsets.
+const MaxAdjEntries = 1<<32 - 1
+
 // Edge is an undirected edge between vertices U and V.
 type Edge struct {
 	U, V int32
@@ -26,14 +36,18 @@ type Edge struct {
 
 // Graph is an immutable undirected graph in CSR form.
 type Graph struct {
-	offsets []int64 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
-	adj     []int32 // concatenated sorted adjacency lists, length 2*m
-	n       int
-	m       int64
+	offsets   []uint32 // len n+1; adjacency of v is neighbors[offsets[v]:offsets[v+1]]
+	neighbors []int32  // concatenated sorted adjacency lists, length 2*m
+	n         int
+	m         int64
 }
 
 // ErrTooManyVertices is returned when a requested graph exceeds MaxVertices.
 var ErrTooManyVertices = errors.New("graph: vertex count exceeds MaxVertices")
+
+// ErrTooManyEdges is returned when a graph would need more than MaxAdjEntries
+// adjacency entries.
+var ErrTooManyEdges = errors.New("graph: adjacency entries exceed MaxAdjEntries")
 
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return g.n }
@@ -49,17 +63,17 @@ func (g *Graph) Degree(v int) int {
 // Neighbors returns the sorted adjacency list of v. The returned slice aliases
 // the graph's internal storage and must not be modified.
 func (g *Graph) Neighbors(v int) []int32 {
-	return g.adj[g.offsets[v]:g.offsets[v+1]]
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
 }
 
 // AdjOffset returns the index into the flat adjacency/weight arrays at which
 // v's adjacency list begins. It is used by weighted algorithms to look up the
 // weight aligned with a neighbor entry.
-func (g *Graph) AdjOffset(v int) int64 { return g.offsets[v] }
+func (g *Graph) AdjOffset(v int) int { return int(g.offsets[v]) }
 
 // NumAdjEntries returns the length of the flat adjacency array (2 * NumEdges
 // for a simple undirected graph).
-func (g *Graph) NumAdjEntries() int64 { return int64(len(g.adj)) }
+func (g *Graph) NumAdjEntries() int { return len(g.neighbors) }
 
 // HasEdge reports whether {u, v} is an edge, using binary search on the
 // sorted adjacency list of the lower-degree endpoint.
@@ -119,12 +133,12 @@ func (g *Graph) Validate() error {
 	if len(g.offsets) != g.n+1 {
 		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
 	}
-	if g.offsets[0] != 0 || g.offsets[g.n] != int64(len(g.adj)) {
+	if g.offsets[0] != 0 || int(g.offsets[g.n]) != len(g.neighbors) {
 		return fmt.Errorf("graph: offsets endpoints [%d,%d] do not match adjacency length %d",
-			g.offsets[0], g.offsets[g.n], len(g.adj))
+			g.offsets[0], g.offsets[g.n], len(g.neighbors))
 	}
-	if int64(len(g.adj)) != 2*g.m {
-		return fmt.Errorf("graph: adjacency length %d, want 2*m = %d", len(g.adj), 2*g.m)
+	if int64(len(g.neighbors)) != 2*g.m {
+		return fmt.Errorf("graph: adjacency length %d, want 2*m = %d", len(g.neighbors), 2*g.m)
 	}
 	for v := 0; v < g.n; v++ {
 		if g.offsets[v] > g.offsets[v+1] {
@@ -204,61 +218,13 @@ func (b *Builder) Build() *Graph {
 
 // FromEdges builds a graph on n vertices from an edge list. Self-loops,
 // duplicates, and reversed duplicates are removed. Endpoints are assumed to
-// be in range (use Builder for validated construction).
+// be in range (use Builder for validated construction). It panics if the
+// graph would exceed MaxAdjEntries; use FromEdgeParts for a checked build.
 func FromEdges(n int, edges []Edge) *Graph {
-	// Normalize to U < V and sort to deduplicate.
-	normalized := make([]Edge, 0, len(edges))
-	for _, e := range edges {
-		if e.U == e.V {
-			continue
-		}
-		if e.U > e.V {
-			e.U, e.V = e.V, e.U
-		}
-		normalized = append(normalized, e)
+	if 2*int64(len(edges)) > MaxAdjEntries {
+		panic(ErrTooManyEdges)
 	}
-	sort.Slice(normalized, func(i, j int) bool {
-		if normalized[i].U != normalized[j].U {
-			return normalized[i].U < normalized[j].U
-		}
-		return normalized[i].V < normalized[j].V
-	})
-	dedup := normalized[:0]
-	for i, e := range normalized {
-		if i > 0 && e == normalized[i-1] {
-			continue
-		}
-		dedup = append(dedup, e)
-	}
-
-	g := &Graph{n: n, m: int64(len(dedup))}
-	g.offsets = make([]int64, n+1)
-	deg := make([]int32, n)
-	for _, e := range dedup {
-		deg[e.U]++
-		deg[e.V]++
-	}
-	for v := 0; v < n; v++ {
-		g.offsets[v+1] = g.offsets[v] + int64(deg[v])
-	}
-	g.adj = make([]int32, g.offsets[n])
-	cursor := make([]int64, n)
-	copy(cursor, g.offsets[:n])
-	for _, e := range dedup {
-		g.adj[cursor[e.U]] = e.V
-		cursor[e.U]++
-		g.adj[cursor[e.V]] = e.U
-		cursor[e.V]++
-	}
-	// Adjacency lists are filled in order of sorted (U,V) pairs: for a vertex
-	// v, neighbors > v arrive in increasing order (edges where v is U), and
-	// neighbors < v also arrive in increasing order (edges where v is V), but
-	// the two runs are interleaved by edge order, so sort each list once.
-	for v := 0; v < n; v++ {
-		nbrs := g.adj[g.offsets[v]:g.offsets[v+1]]
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
-	}
-	return g
+	return buildCSR(n, [][]Edge{edges})
 }
 
 // Subgraph returns the subgraph induced by keep (a vertex predicate), with

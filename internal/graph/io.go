@@ -78,6 +78,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
 		}
+		if u >= MaxVertices || v >= MaxVertices {
+			return nil, fmt.Errorf("graph: line %d: vertex id exceeds MaxVertices", lineNo)
+		}
 		if u > maxVertex {
 			maxVertex = u
 		}
@@ -85,12 +88,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			maxVertex = v
 		}
 		edges = append(edges, Edge{U: int32(u), V: int32(v)})
+		if 2*int64(len(edges)) > MaxAdjEntries {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, ErrTooManyEdges)
+		}
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
 	if n < 0 {
 		n = maxVertex + 1
+	}
+	if n > MaxVertices {
+		return nil, fmt.Errorf("graph: declared node count %d exceeds MaxVertices", n)
 	}
 	if maxVertex >= n {
 		return nil, fmt.Errorf("graph: vertex %d exceeds declared node count %d", maxVertex, n)

@@ -9,16 +9,16 @@ package graph
 // This is exactly the reduction the paper uses to solve maximal matching with
 // the MIS algorithm: "one can view matching as an independent set of edges,
 // no two of which are incident to the same vertex."
+//
+// The incidence index is built as a flat CSR pair (offset + id arrays)
+// rather than a slice of slices, mirroring the graph core's layout: the edge
+// ids incident to vertex v are incIDs[incOff[v]:incOff[v+1]].
 func LineGraph(g *Graph) (*Graph, []Edge) {
 	edges := g.Edges()
-	// edgeIDs[i] lists the ids of edges incident to vertex i.
-	edgeIDs := make([][]int32, g.NumVertices())
-	for id, e := range edges {
-		edgeIDs[e.U] = append(edgeIDs[e.U], int32(id))
-		edgeIDs[e.V] = append(edgeIDs[e.V], int32(id))
-	}
+	incOff, incIDs := IncidenceCSR(g, edges)
 	var lineEdges []Edge
-	for _, ids := range edgeIDs {
+	for v := 0; v < g.NumVertices(); v++ {
+		ids := incIDs[incOff[v]:incOff[v+1]]
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
 				lineEdges = append(lineEdges, Edge{U: ids[i], V: ids[j]})
@@ -26,4 +26,24 @@ func LineGraph(g *Graph) (*Graph, []Edge) {
 		}
 	}
 	return FromEdges(len(edges), lineEdges), edges
+}
+
+// IncidenceCSR builds the flat edge-incidence index of g for the given edge
+// list (as returned by g.Edges()): the ids of the edges incident to vertex v
+// are ids[off[v]:off[v+1]], in increasing id order. The per-vertex counts are
+// exactly the vertex degrees, so the offsets are the graph's own CSR offsets.
+func IncidenceCSR(g *Graph, edges []Edge) (off []uint32, ids []int32) {
+	n := g.NumVertices()
+	off = make([]uint32, n+1)
+	copy(off, g.offsets)
+	cursor := make([]uint32, n)
+	copy(cursor, off[:n])
+	ids = make([]int32, g.NumAdjEntries())
+	for id, e := range edges {
+		ids[cursor[e.U]] = int32(id)
+		cursor[e.U]++
+		ids[cursor[e.V]] = int32(id)
+		cursor[e.V]++
+	}
+	return off, ids
 }

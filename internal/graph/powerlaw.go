@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"relaxsched/internal/rng"
+)
+
+// PowerLaw generates a Chung–Lu random graph whose expected degree sequence
+// follows a power law with the given exponent (typically in (2, 3] for web
+// and social graphs): vertex v is assigned weight (v+1)^(-1/(exponent-1)),
+// and each sampled edge picks both endpoints with probability proportional
+// to their weights. The result has a few very high-degree hubs and a heavy
+// tail of low-degree vertices — the degree profile the scalable-broadcast
+// systems in the related work are built for, and a much harsher scheduler
+// stress test than G(n, p): hub vertices create long dependency chains for
+// MIS and coloring.
+//
+// avgDegree fixes the number of sampled edges at n*avgDegree/2. Self-loops
+// are dropped and duplicate samples are collapsed by the CSR builder, so the
+// realized average degree is slightly lower than requested. Sampling runs on
+// workers goroutines (0 selects GOMAXPROCS), each with an independent stream
+// forked from r and its own edge shard feeding the parallel CSR builder.
+func PowerLaw(n int, avgDegree, exponent float64, workers int, r *rng.Rand) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if n > MaxVertices {
+		return nil, ErrTooManyVertices
+	}
+	if avgDegree < 0 {
+		return nil, fmt.Errorf("graph: negative average degree %v", avgDegree)
+	}
+	if exponent <= 1 {
+		return nil, fmt.Errorf("graph: power-law exponent %v must exceed 1", exponent)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	target := int64(avgDegree * float64(n) / 2)
+	if 2*target > MaxAdjEntries {
+		return nil, ErrTooManyEdges
+	}
+	if n < 2 || target == 0 {
+		return FromEdges(n, nil), nil
+	}
+
+	// cum[v] is the cumulative weight mass up to and including vertex v;
+	// sampling an endpoint is a binary search for a uniform point in the
+	// total mass. The weights are a pure function of the vertex id, so the
+	// cumulative array is built in parallel chunks and stitched together.
+	cum := make([]float64, n)
+	alpha := -1 / (exponent - 1)
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	parallelDo(nchunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		run := 0.0
+		for v := lo; v < hi; v++ {
+			run += math.Pow(float64(v+1), alpha)
+			cum[v] = run
+		}
+	})
+	// Stitch: add each chunk's closing mass to every later chunk.
+	base := 0.0
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if base != 0 {
+			for v := lo; v < hi; v++ {
+				cum[v] += base
+			}
+		}
+		base = cum[hi-1]
+	}
+	total := cum[n-1]
+
+	if workers > int(target) {
+		workers = int(target)
+	}
+	parts := make([][]Edge, workers)
+	rands := make([]*rng.Rand, workers)
+	for i := range rands {
+		rands[i] = r.Fork()
+	}
+	per := (target + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := per
+		if rem := target - int64(w)*per; rem < count {
+			count = rem
+		}
+		if count <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, count int64) {
+			defer wg.Done()
+			wr := rands[w]
+			part := make([]Edge, 0, count)
+			for i := int64(0); i < count; i++ {
+				u := sampleByWeight(cum, total, wr)
+				v := sampleByWeight(cum, total, wr)
+				if u == v {
+					continue
+				}
+				part = append(part, Edge{U: u, V: v})
+			}
+			parts[w] = part
+		}(w, count)
+	}
+	wg.Wait()
+	return FromEdgeParts(n, parts)
+}
+
+// sampleByWeight draws a vertex with probability proportional to its weight
+// via binary search on the cumulative mass array.
+func sampleByWeight(cum []float64, total float64, r *rng.Rand) int32 {
+	x := r.Float64() * total
+	i := sort.SearchFloat64s(cum, x)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return int32(i)
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"testing"
+
+	"relaxsched/internal/rng"
+)
+
+func TestPowerLawBasic(t *testing.T) {
+	const n = 5000
+	g, err := PowerLaw(n, 8, 2.5, 4, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("NumVertices = %d, want %d", g.NumVertices(), n)
+	}
+	// Dedup and self-loop drops shrink the edge count, but not by much.
+	if avg := g.AverageDegree(); avg < 4 || avg > 8 {
+		t.Fatalf("average degree %.2f far from requested 8", avg)
+	}
+	// The defining power-law property: hubs. The largest degree must dwarf
+	// the average (for G(n,p) of the same density it would be within a small
+	// constant factor).
+	if maxDeg := g.MaxDegree(); float64(maxDeg) < 8*g.AverageDegree() {
+		t.Fatalf("max degree %d too small for a power-law graph (avg %.2f)", maxDeg, g.AverageDegree())
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a, err := PowerLaw(800, 6, 2.2, 3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLaw(800, 6, 2.2, 3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(a, b) {
+		t.Fatal("same seed and worker count produced different graphs")
+	}
+}
+
+func TestPowerLawEdgeCases(t *testing.T) {
+	if _, err := PowerLaw(-1, 4, 2.5, 1, rng.New(1)); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+	if _, err := PowerLaw(100, -4, 2.5, 1, rng.New(1)); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+	if _, err := PowerLaw(100, 4, 1.0, 1, rng.New(1)); err == nil {
+		t.Fatal("exponent 1.0 accepted")
+	}
+	g, err := PowerLaw(0, 4, 2.5, 1, rng.New(1))
+	if err != nil || g.NumVertices() != 0 {
+		t.Fatalf("empty graph: %v, %v", g, err)
+	}
+	g, err = PowerLaw(1, 4, 2.5, 1, rng.New(1))
+	if err != nil || g.NumEdges() != 0 {
+		t.Fatalf("single vertex: %v, %v", g, err)
+	}
+	g, err = PowerLaw(100, 0, 2.5, 1, rng.New(1))
+	if err != nil || g.NumEdges() != 0 {
+		t.Fatalf("zero degree: %v, %v", g, err)
+	}
+}

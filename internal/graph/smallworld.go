@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"relaxsched/internal/rng"
 )
@@ -123,6 +125,78 @@ func WattsStrogatz(n, k int, beta float64, r *rng.Rand) (*Graph, error) {
 		edges = append(edges, Edge{U: p.u, V: p.v})
 	}
 	return FromEdges(n, edges), nil
+}
+
+// ParallelWattsStrogatz generates a small-world graph with workers
+// goroutines, each owning a contiguous range of lattice vertices and an
+// independent random stream forked from r. Every worker emits the lattice
+// edges (u, u+j mod n) for its range, independently rewiring each one to a
+// uniformly random endpoint with probability beta, and the shards feed the
+// parallel CSR builder directly.
+//
+// Unlike the sequential WattsStrogatz, rewiring decisions are made per edge
+// without consulting a global edge set (which would serialize the workers);
+// rewired edges that collide with an existing edge are collapsed by the CSR
+// builder's deduplication instead of being redrawn, so the realized edge
+// count can be slightly below n*k/2. The degree distribution and small-world
+// structure are unaffected for the beta values the workloads use.
+func ParallelWattsStrogatz(n, k int, beta float64, workers int, r *rng.Rand) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("graph: lattice degree must be a positive even number, got %d", k)
+	}
+	if k >= n {
+		return nil, fmt.Errorf("graph: lattice degree %d must be smaller than vertex count %d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: rewiring probability %v out of [0,1]", beta)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	parts := make([][]Edge, workers)
+	rands := make([]*rng.Rand, workers)
+	for i := range rands {
+		rands[i] = r.Fork()
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wr := rands[w]
+			part := make([]Edge, 0, (hi-lo)*k/2)
+			for u := lo; u < hi; u++ {
+				for j := 1; j <= k/2; j++ {
+					v := int32((u + j) % n)
+					if beta > 0 && wr.Float64() < beta {
+						for attempt := 0; attempt < 16; attempt++ {
+							cand := int32(wr.Intn(n))
+							if int(cand) != u {
+								v = cand
+								break
+							}
+						}
+					}
+					part = append(part, Edge{U: int32(u), V: v})
+				}
+			}
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return FromEdgeParts(n, parts)
 }
 
 func min32(a, b int32) int32 {

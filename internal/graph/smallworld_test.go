@@ -139,3 +139,52 @@ func TestWattsStrogatzErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelWattsStrogatzBasic(t *testing.T) {
+	const n, k = 2000, 6
+	g, err := ParallelWattsStrogatz(n, k, 0.1, 4, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("NumVertices = %d, want %d", g.NumVertices(), n)
+	}
+	// Rewiring collisions collapse a few edges, never add any.
+	if g.NumEdges() > int64(n*k/2) {
+		t.Fatalf("edge count %d exceeds lattice size %d", g.NumEdges(), n*k/2)
+	}
+	if g.NumEdges() < int64(n*k/2*9/10) {
+		t.Fatalf("edge count %d lost more than 10%% of the lattice %d", g.NumEdges(), n*k/2)
+	}
+}
+
+func TestParallelWattsStrogatzZeroBetaIsLattice(t *testing.T) {
+	const n, k = 500, 4
+	g, err := ParallelWattsStrogatz(n, k, 0, 3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != int64(n*k/2) {
+		t.Fatalf("beta=0 lattice has %d edges, want %d", g.NumEdges(), n*k/2)
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != k {
+			t.Fatalf("beta=0 lattice vertex %d has degree %d, want %d", v, g.Degree(v), k)
+		}
+	}
+}
+
+func TestParallelWattsStrogatzErrors(t *testing.T) {
+	if _, err := ParallelWattsStrogatz(10, 3, 0.1, 2, rng.New(1)); err == nil {
+		t.Fatal("odd lattice degree accepted")
+	}
+	if _, err := ParallelWattsStrogatz(4, 6, 0.1, 2, rng.New(1)); err == nil {
+		t.Fatal("lattice degree >= n accepted")
+	}
+	if _, err := ParallelWattsStrogatz(10, 4, 1.5, 2, rng.New(1)); err == nil {
+		t.Fatal("beta out of range accepted")
+	}
+}

@@ -2,14 +2,17 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 
 	"relaxsched/internal/rng"
 )
 
 // Weights stores a positive integer weight for every adjacency entry of a
-// graph, aligned with the flat adjacency array. Weights are symmetric: the
-// weight seen from u for neighbor v equals the weight seen from v for
-// neighbor u. They are used by the shortest-path workloads.
+// graph, aligned with the flat neighbors array: the weight of the adjacency
+// entry at flat index i (Graph.AdjOffset(v) plus the neighbor position) is
+// At(i). Weights are symmetric: the weight seen from u for neighbor v equals
+// the weight seen from v for neighbor u. They are used by the shortest-path
+// workloads.
 type Weights struct {
 	w []uint32
 }
@@ -17,23 +20,28 @@ type Weights struct {
 // RandomWeights returns symmetric uniform random weights in [1, maxWeight]
 // for every edge of g. Symmetry is guaranteed by deriving each edge's weight
 // from a hash of its canonical (min, max) endpoint pair and the seed, so both
-// directions compute the same value.
+// directions compute the same value. Because every entry is a pure function
+// of the endpoints and the seed, the fill runs in parallel over vertex
+// ranges.
 func RandomWeights(g *Graph, maxWeight uint32, seed uint64) (*Weights, error) {
 	if maxWeight == 0 {
 		return nil, fmt.Errorf("graph: maxWeight must be positive")
 	}
 	w := make([]uint32, g.NumAdjEntries())
-	for v := 0; v < g.NumVertices(); v++ {
-		base := g.AdjOffset(v)
-		for i, u := range g.Neighbors(v) {
-			lo, hi := int32(v), u
-			if lo > hi {
-				lo, hi = hi, lo
+	ranges := vertexRanges(g.offsets, runtime.GOMAXPROCS(0))
+	parallelDo(len(ranges), func(i int) {
+		for v := ranges[i].lo; v < ranges[i].hi; v++ {
+			base := g.AdjOffset(v)
+			for j, u := range g.Neighbors(v) {
+				lo, hi := int32(v), u
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				h := rng.NewSplitMix64(seed ^ uint64(uint32(lo))<<32 ^ uint64(uint32(hi)))
+				w[base+j] = uint32(h.Next()%uint64(maxWeight)) + 1
 			}
-			h := rng.NewSplitMix64(seed ^ uint64(uint32(lo))<<32 ^ uint64(uint32(hi)))
-			w[base+int64(i)] = uint32(h.Next()%uint64(maxWeight)) + 1
 		}
-	}
+	})
 	return &Weights{w: w}, nil
 }
 
@@ -49,8 +57,8 @@ func UnitWeights(g *Graph) *Weights {
 
 // At returns the weight of the adjacency entry at flat index i (as produced
 // by Graph.AdjOffset plus the neighbor position).
-func (ws *Weights) At(i int64) uint32 { return ws.w[i] }
+func (ws *Weights) At(i int) uint32 { return ws.w[i] }
 
 // Len returns the number of weight entries (equal to the graph's
 // NumAdjEntries).
-func (ws *Weights) Len() int64 { return int64(len(ws.w)) }
+func (ws *Weights) Len() int { return len(ws.w) }

@@ -26,7 +26,7 @@ func TestRandomWeightsSymmetricAndInRange(t *testing.T) {
 	for v := 0; v < g.NumVertices(); v++ {
 		base := g.AdjOffset(v)
 		for i, u := range g.Neighbors(v) {
-			w := ws.At(base + int64(i))
+			w := ws.At(base + i)
 			if w < 1 || w > maxW {
 				t.Fatalf("weight %d out of [1,%d]", w, maxW)
 			}
@@ -60,7 +60,7 @@ func TestRandomWeightsDeterministicInSeed(t *testing.T) {
 	}
 	same := true
 	differ := false
-	for i := int64(0); i < a.Len(); i++ {
+	for i := 0; i < a.Len(); i++ {
 		if a.At(i) != b.At(i) {
 			same = false
 		}
@@ -86,7 +86,7 @@ func TestRandomWeightsErrors(t *testing.T) {
 func TestUnitWeights(t *testing.T) {
 	g := Grid(4, 4)
 	ws := UnitWeights(g)
-	for i := int64(0); i < ws.Len(); i++ {
+	for i := 0; i < ws.Len(); i++ {
 		if ws.At(i) != 1 {
 			t.Fatalf("unit weight at %d is %d", i, ws.At(i))
 		}
