@@ -10,29 +10,38 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-enabled tests on the packages with real concurrency: the executors,
-# every scheduler family, and the end-to-end integration matrix.
+# Race-enabled tests on the packages with real concurrency: the executors
+# (static and dynamic), every scheduler family, the dynamic-priority
+# workloads (sssp, kcore), and the end-to-end integration matrix.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sched/... ./internal/integration/...
+	$(GO) test -race ./internal/core/... ./internal/sched/... \
+		./internal/algos/sssp/... ./internal/algos/kcore/... ./internal/integration/...
 
 # Repository-level benchmarks (one per table/figure of the paper).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Worker-scaling sweep: regenerates BENCH_concurrent.json across the tracked
-# classes — the historical 100k G(n,p) instance, the million-vertex instance,
-# and the power-law instance (see EXPERIMENTS.md).
+# entries — MIS on the historical 100k G(n,p) instance, the million-vertex
+# instance and the power-law instance, plus the dynamic-priority workloads
+# (sssp, kcore) on the 100k and grid classes (see EXPERIMENTS.md). The
+# second invocation merges into the file written by the first.
 sweep:
 	$(GO) run ./cmd/relaxbench -sweep -class hundredk,million,powerlaw -json BENCH_concurrent.json
+	$(GO) run ./cmd/relaxbench -sweep -algo sssp,kcore -class hundredk,grid -append -json BENCH_concurrent.json
 
 # Short sweep for CI: single trial, one batch size, gated against the
-# committed BENCH_concurrent.json — fails on a >25% concurrent-MIS
-# throughput regression. Writes its results over BENCH_concurrent.json (CI
-# uploads them as an artifact; locally, git restore to discard).
+# committed BENCH_concurrent.json — fails on a >25% relaxed-multiqueue
+# throughput regression for concurrent MIS or the dynamic sssp workload.
+# Writes its results over BENCH_concurrent.json (CI uploads them as an
+# artifact; locally, git restore to discard).
 bench-smoke:
 	@cp BENCH_concurrent.json /tmp/relaxsched-bench-baseline.json
 	$(GO) run ./cmd/relaxbench -sweep -class hundredk,million -trials 1 -batches 16,64 \
 		-json BENCH_concurrent.json \
+		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
+	$(GO) run ./cmd/relaxbench -sweep -algo sssp -class hundredk -trials 1 -batches 16,64 \
+		-append -json BENCH_concurrent.json \
 		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
 
 # 10-second fuzz of the edge-list parser, as run by CI.

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+// writeTestGraph writes a random G(n,m) graph to a temp file and returns its
+// path.
+func writeTestGraph(t *testing.T, n int, m int64) string {
+	t.Helper()
+	g, err := graph.GNM(n, m, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllModes(t *testing.T) {
+	path := writeTestGraph(t, 800, 4000)
+	var degeneracies []string
+	for _, mode := range []string{"sequential", "relaxed", "concurrent", "exact"} {
+		var out bytes.Buffer
+		err := run([]string{"-in", path, "-mode", mode, "-threads", "2", "-k", "8", "-seed", "3"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "degeneracy:") || !strings.Contains(got, "mode: "+mode) {
+			t.Fatalf("%s: unexpected output:\n%s", mode, got)
+		}
+		idx := strings.Index(got, "degeneracy:")
+		degeneracies = append(degeneracies, strings.Fields(got[idx:])[1])
+	}
+	// The decomposition is exact in every mode, so all degeneracies agree.
+	for _, d := range degeneracies[1:] {
+		if d != degeneracies[0] {
+			t.Fatalf("modes disagree on degeneracy: %v", degeneracies)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t, 50, 100)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing input", nil},
+		{"nonexistent file", []string{"-in", "/does/not/exist"}},
+		{"unknown mode", []string{"-in", path, "-mode", "quantum"}},
+		{"zero k", []string{"-in", path, "-mode", "relaxed", "-k", "0"}},
+		{"zero threads", []string{"-in", path, "-mode", "concurrent", "-threads", "0"}},
+		{"negative batch", []string{"-in", path, "-mode", "concurrent", "-batch", "-1"}},
+		{"unknown flag", []string{"-in", path, "-bogus"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}

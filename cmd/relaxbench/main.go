@@ -1,32 +1,40 @@
-// Command relaxbench runs the paper's concurrent MIS experiments (Figure 2):
-// for a G(n, p) graph of a chosen density class it sweeps thread counts and
-// reports the wall-clock time and speedup of
+// Command relaxbench runs the paper's concurrent experiments (Figure 2):
+// for a graph of a chosen density class it sweeps thread counts and reports
+// the wall-clock time and speedup of
 //
 //   - the relaxed framework on a concurrent MultiQueue,
 //   - the exact framework on a fetch-and-add FIFO with predecessor backoff,
 //
-// against the optimized sequential greedy MIS.
+// against the optimized sequential baseline. Besides the static framework
+// workloads (mis, coloring, matching) it benchmarks the dynamic-priority
+// workloads (sssp — optionally Δ-stepping-bucketed via -delta — and kcore),
+// which run on the dynamic engine and report stale pops as wasted work.
 //
 // With -sweep it instead runs the worker-scaling sweep: workers × batch
 // sizes × schedulers, reporting throughput per data point and writing the
 // machine-readable BENCH_concurrent.json that tracks the repository's
-// concurrent-performance trajectory.
+// concurrent-performance trajectory; -append merges new (class, algorithm)
+// reports into the existing file instead of overwriting it.
 //
 // Examples:
 //
 //	relaxbench                       # all three classes, default thread sweep
 //	relaxbench -class sparse -trials 5
-//	relaxbench -class hundredk,million,powerlaw -sweep   # the tracked sweep set
+//	relaxbench -algo sssp -class grid -delta 16
+//	relaxbench -class hundredk,million,powerlaw -sweep   # the tracked MIS sweep
+//	relaxbench -sweep -algo sssp,kcore -class hundredk,grid -append  # the dynamic entries
 //	relaxbench -vertices 100000 -edges 1000000 -threads 1,2,4
-//	relaxbench -sweep -class sparse  # scaling sweep, writes BENCH_concurrent.json
 //	relaxbench -sweep -batches 1,16,64 -json sweep.json
 //	relaxbench -sweep -baseline BENCH_concurrent.json -max-regression 0.25
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -44,20 +52,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("relaxbench", flag.ContinueOnError)
 	var (
-		algo          = fs.String("algo", "mis", "workload: mis (Figure 2), coloring, matching")
-		className     = fs.String("class", "", "comma-separated graph classes: sparse, smalldense, largedense, hundredk, million, powerlaw (default: the three Figure 2 classes)")
+		algoCSV       = fs.String("algo", "mis", "comma-separated workloads: mis (Figure 2), coloring, matching, sssp, kcore")
+		className     = fs.String("class", "", "comma-separated graph classes: sparse, smalldense, largedense, hundredk, million, powerlaw, grid (default: the three Figure 2 classes)")
 		vertices      = fs.Int("vertices", 0, "custom vertex count (overrides -class)")
 		edges         = fs.Int64("edges", 0, "custom edge count (with -vertices)")
 		threadsCSV    = fs.String("threads", "", "comma-separated thread counts (default: powers of two up to GOMAXPROCS)")
 		trials        = fs.Int("trials", 3, "trials per data point")
 		queueFactor   = fs.Int("queue-factor", 4, "MultiQueue sub-queues per thread")
 		batch         = fs.Int("batch", 0, "executor batch size for panel runs (0 = executor default)")
+		delta         = fs.Uint64("delta", 1, "Δ-stepping bucket width for sssp priorities (1 = exact distances)")
 		seed          = fs.Uint64("seed", 1, "random seed")
-		verify        = fs.Bool("verify", true, "check every parallel result against the sequential MIS")
+		verify        = fs.Bool("verify", true, "check every parallel result against the sequential oracle")
 		sweep         = fs.Bool("sweep", false, "run the worker-scaling sweep (workers x batch sizes) instead of Figure 2 panels")
 		batchesCSV    = fs.String("batches", "", "comma-separated batch sizes for -sweep (default: 1,4,16,64)")
 		jsonPath      = fs.String("json", "BENCH_concurrent.json", "output path for the -sweep JSON report (empty: stdout table only)")
-		baseline      = fs.String("baseline", "", "baseline sweep JSON to gate against (with -sweep): fail on concurrent MIS throughput regression")
+		appendJSON    = fs.Bool("append", false, "merge -sweep reports into the existing -json file, replacing matching (class, algorithm) entries")
+		baseline      = fs.String("baseline", "", "baseline sweep JSON to gate against (with -sweep): fail on relaxed-scheduler throughput regression")
 		maxRegression = fs.Float64("max-regression", 0.25, "largest tolerated fractional throughput drop versus -baseline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +88,23 @@ func run(args []string, out io.Writer) error {
 	}
 	if *batch < 0 {
 		return fmt.Errorf("invalid batch size %d: must be non-negative (0 = executor default)", *batch)
+	}
+
+	var algos []bench.Algorithm
+	hasSSSP := false
+	for _, name := range strings.Split(*algoCSV, ",") {
+		a, err := bench.ParseAlgorithm(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		algos = append(algos, a)
+		hasSSSP = hasSSSP || a == bench.AlgorithmSSSP
+	}
+	if *delta < 1 || *delta > math.MaxUint32 {
+		return fmt.Errorf("invalid delta %d: must be in [1, 2^32)", *delta)
+	}
+	if *delta != 1 && !hasSSSP {
+		return fmt.Errorf("-delta only applies to -algo sssp")
 	}
 
 	threads, err := parseInts(*threadsCSV, "thread count")
@@ -107,9 +134,15 @@ func run(args []string, out io.Writer) error {
 	if !*sweep && *baseline != "" {
 		return fmt.Errorf("-baseline requires -sweep")
 	}
+	if !*sweep && *appendJSON {
+		return fmt.Errorf("-append requires -sweep")
+	}
 	if *sweep {
 		if *batch != 0 && *batchesCSV != "" {
 			return fmt.Errorf("-batch and -batches are mutually exclusive with -sweep")
+		}
+		if *appendJSON && *jsonPath == "" {
+			return fmt.Errorf("-append requires -json")
 		}
 		batches, err := parseInts(*batchesCSV, "batch size")
 		if err != nil {
@@ -121,67 +154,89 @@ func run(args []string, out io.Writer) error {
 			}
 			batches = []int{*batch}
 		}
-		return runSweep(out, classes, bench.ScalingConfig{
-			Algorithm:   bench.Algorithm(*algo),
+		return runSweep(out, classes, algos, bench.ScalingConfig{
 			Workers:     threads,
 			BatchSizes:  batches,
 			Trials:      *trials,
 			QueueFactor: *queueFactor,
+			Delta:       uint32(*delta),
 			Seed:        *seed,
 			Verify:      *verify,
-		}, *jsonPath, *baseline, *maxRegression)
+		}, *jsonPath, *appendJSON, *baseline, *maxRegression)
 	}
 
 	for _, class := range classes {
-		report, err := bench.Run(bench.Config{
-			Class:       class,
-			Algorithm:   bench.Algorithm(*algo),
-			Threads:     threads,
-			Trials:      *trials,
-			QueueFactor: *queueFactor,
-			BatchSize:   *batch,
-			Seed:        *seed,
-			Verify:      *verify,
-		})
-		if err != nil {
-			return fmt.Errorf("class %s: %w", class.Name, err)
+		for _, algo := range algos {
+			if len(algos) > 1 {
+				fmt.Fprintf(out, "algorithm=%s\n", algo)
+			}
+			report, err := bench.Run(bench.Config{
+				Class:       class,
+				Algorithm:   algo,
+				Threads:     threads,
+				Trials:      *trials,
+				QueueFactor: *queueFactor,
+				BatchSize:   *batch,
+				Delta:       uint32(*delta),
+				Seed:        *seed,
+				Verify:      *verify,
+			})
+			if err != nil {
+				return fmt.Errorf("class %s algo %s: %w", class.Name, algo, err)
+			}
+			fmt.Fprint(out, report.Format())
+			fmt.Fprintf(out, "best speedup: relaxed %.2fx, exact %.2fx\n\n",
+				report.BestSpeedup(bench.SchedulerRelaxed), report.BestSpeedup(bench.SchedulerExact))
 		}
-		fmt.Fprint(out, report.Format())
-		fmt.Fprintf(out, "best speedup: relaxed %.2fx, exact %.2fx\n\n",
-			report.BestSpeedup(bench.SchedulerRelaxed), report.BestSpeedup(bench.SchedulerExact))
 	}
 	return nil
 }
 
-// runSweep executes the scaling sweep for every class, prints the table per
-// class, writes all reports as one JSON array to jsonPath, and — when a
-// baseline is given — fails on a concurrent MIS throughput regression beyond
-// maxRegression.
-func runSweep(out io.Writer, classes []bench.Class, cfg bench.ScalingConfig, jsonPath, baseline string, maxRegression float64) error {
-	reports := make([]bench.ScalingReport, 0, len(classes))
+// runSweep executes the scaling sweep for every (class, algorithm) pair,
+// prints the table per pair, writes all reports as one JSON array to
+// jsonPath (merging into the existing file with doAppend), and — when a
+// baseline is given — fails on a relaxed-scheduler throughput regression
+// beyond maxRegression.
+func runSweep(out io.Writer, classes []bench.Class, algos []bench.Algorithm, cfg bench.ScalingConfig, jsonPath string, doAppend bool, baseline string, maxRegression float64) error {
+	reports := make([]bench.ScalingReport, 0, len(classes)*len(algos))
 	for _, class := range classes {
-		cfg.Class = class
-		report, err := bench.RunScaling(cfg)
-		if err != nil {
-			return fmt.Errorf("class %s: %w", class.Name, err)
-		}
-		fmt.Fprint(out, report.Format())
-		fmt.Fprint(out, "best throughput:")
-		for i, name := range report.Schedulers() {
-			if i > 0 {
-				fmt.Fprint(out, ",")
+		for _, algo := range algos {
+			cfg.Class = class
+			cfg.Algorithm = algo
+			report, err := bench.RunScaling(cfg)
+			if err != nil {
+				return fmt.Errorf("class %s algo %s: %w", class.Name, algo, err)
 			}
-			fmt.Fprintf(out, " %s %.0f tasks/s", name, report.BestThroughput(name))
+			fmt.Fprint(out, report.Format())
+			fmt.Fprint(out, "best throughput:")
+			for i, name := range report.Schedulers() {
+				if i > 0 {
+					fmt.Fprint(out, ",")
+				}
+				fmt.Fprintf(out, " %s %.0f tasks/s", name, report.BestThroughput(name))
+			}
+			fmt.Fprint(out, "\n\n")
+			reports = append(reports, report)
 		}
-		fmt.Fprint(out, "\n\n")
-		reports = append(reports, report)
 	}
 	if jsonPath != "" {
+		output := reports
+		if doAppend {
+			existing, err := bench.ReadScalingReportsFile(jsonPath)
+			switch {
+			case err == nil:
+				output = mergeReports(existing, reports)
+			case errors.Is(err, fs.ErrNotExist):
+				// No existing file: -append degenerates to a plain write.
+			default:
+				return err
+			}
+		}
 		f, err := os.Create(jsonPath)
 		if err != nil {
 			return fmt.Errorf("creating %s: %w", jsonPath, err)
 		}
-		if err := bench.WriteScalingReports(f, reports); err != nil {
+		if err := bench.WriteScalingReports(f, output); err != nil {
 			f.Close()
 			return fmt.Errorf("writing %s: %w", jsonPath, err)
 		}
@@ -202,6 +257,28 @@ func runSweep(out io.Writer, classes []bench.Class, cfg bench.ScalingConfig, jso
 			bench.SchedulerRelaxed, 100*maxRegression, baseline)
 	}
 	return nil
+}
+
+// mergeReports overlays fresh sweep reports onto an existing report list:
+// entries with the same (class, algorithm) key are replaced in place, new
+// keys are appended — so re-running one algorithm's sweep never discards the
+// other tracked entries in BENCH_concurrent.json.
+func mergeReports(existing, fresh []bench.ScalingReport) []bench.ScalingReport {
+	out := append([]bench.ScalingReport(nil), existing...)
+	index := make(map[string]int, len(out))
+	for i, rep := range out {
+		index[rep.Class+"/"+rep.Algorithm] = i
+	}
+	for _, rep := range fresh {
+		key := rep.Class + "/" + rep.Algorithm
+		if i, ok := index[key]; ok {
+			out[i] = rep
+		} else {
+			index[key] = len(out)
+			out = append(out, rep)
+		}
+	}
+	return out
 }
 
 func parseInts(csv, what string) ([]int, error) {

@@ -147,6 +147,12 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 		{"bad thread list", []string{"-vertices", "100", "-edges", "200", "-threads", "1,0"}},
 		{"unknown class", []string{"-class", "galaxy"}},
 		{"baseline without sweep", []string{"-vertices", "100", "-edges", "200", "-baseline", "x.json"}},
+		{"unknown algo in list", []string{"-algo", "mis,galactic", "-vertices", "100", "-edges", "200"}},
+		{"zero delta", []string{"-algo", "sssp", "-vertices", "100", "-edges", "200", "-delta", "0"}},
+		{"delta overflows uint32", []string{"-algo", "sssp", "-vertices", "100", "-edges", "200", "-delta", "4294967296"}},
+		{"delta without sssp", []string{"-algo", "mis", "-vertices", "100", "-edges", "200", "-delta", "16"}},
+		{"append without sweep", []string{"-vertices", "100", "-edges", "200", "-append"}},
+		{"append without json", []string{"-sweep", "-vertices", "100", "-edges", "200", "-append", "-json", ""}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -202,6 +208,112 @@ func TestSweepBaselineGate(t *testing.T) {
 	var out3 bytes.Buffer
 	if err := run(append(args, "-baseline", badPath, "-json", dir+"/third.json"), &out3); err == nil {
 		t.Fatal("1000x-inflated baseline passed the regression gate")
+	}
+}
+
+func TestRunDynamicAlgorithms(t *testing.T) {
+	// Panel runs for the dynamic workloads, including a bucketed sssp; the
+	// multi-algo form prints one header per algorithm.
+	var out bytes.Buffer
+	err := run([]string{
+		"-algo", "sssp,kcore", "-vertices", "900", "-edges", "3600",
+		"-threads", "1,2", "-trials", "1", "-delta", "8", "-seed", "9",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"algorithm=sssp", "algorithm=kcore", "best speedup"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSweepDynamicAlgorithmsAppend(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH.json"
+	// First, a MIS sweep creates the file.
+	var out bytes.Buffer
+	err := run([]string{
+		"-sweep", "-vertices", "1200", "-edges", "5000", "-threads", "1",
+		"-batches", "16", "-trials", "1", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Then a dynamic sweep with -append adds sssp and kcore entries without
+	// discarding the MIS entry.
+	out.Reset()
+	err = run([]string{
+		"-sweep", "-algo", "sssp,kcore", "-vertices", "1200", "-edges", "5000",
+		"-threads", "1", "-batches", "16", "-trials", "1", "-append", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []bench.ScalingReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports after append, want 3 (mis + sssp + kcore)", len(reports))
+	}
+	algos := map[string]bool{}
+	for _, rep := range reports {
+		algos[rep.Algorithm] = true
+	}
+	for _, want := range []string{"mis", "sssp", "kcore"} {
+		if !algos[want] {
+			t.Fatalf("missing %s report after append: %v", want, algos)
+		}
+	}
+	// Re-running the dynamic sweep with -append replaces in place instead of
+	// duplicating.
+	out.Reset()
+	err = run([]string{
+		"-sweep", "-algo", "kcore", "-vertices", "1200", "-edges", "5000",
+		"-threads", "1", "-batches", "16", "-trials", "1", "-append", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports after re-append, want 3", len(reports))
+	}
+}
+
+func TestSweepDynamicSelfBaselineGate(t *testing.T) {
+	// The regression gate must key on (class, algorithm): a dynamic sweep
+	// gated against its own output passes even when the baseline also holds
+	// entries for other algorithms.
+	dir := t.TempDir()
+	jsonPath := dir + "/sweep.json"
+	args := []string{
+		"-sweep", "-algo", "sssp", "-vertices", "1500", "-edges", "6000",
+		"-threads", "1", "-batches", "16", "-trials", "1", "-seed", "3", "-json", jsonPath,
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := run(append(args, "-baseline", jsonPath, "-json", dir+"/second.json"), &out2); err != nil {
+		t.Fatalf("self-baseline gate failed: %v", err)
+	}
+	if !strings.Contains(out2.String(), "regression gate passed") {
+		t.Fatalf("missing gate confirmation:\n%s", out2.String())
 	}
 }
 

@@ -3,15 +3,17 @@
 // Nadiradze; PODC 2018, arXiv:1808.04155).
 //
 // The library implements the paper's execution framework for iterative
-// algorithms with explicit dependencies (internal/core), the relaxed priority
+// algorithms with explicit dependencies plus a second executor family for
+// dynamic-priority workloads (internal/core), the relaxed priority
 // schedulers it builds on — MultiQueue, SprayList, a deterministic k-bounded
 // queue, an exact binary heap, and a fetch-and-add FIFO baseline
-// (internal/sched/...) — the graph substrate (internal/graph), the algorithms
-// the paper analyzes (greedy MIS, maximal matching, greedy coloring, list
-// contraction, Knuth shuffle, and SSSP as the non-deterministic contrast,
-// under internal/algos/...), and the simulation and benchmark harnesses that
-// regenerate the paper's Table 1 and Figure 2 (internal/sim, internal/bench,
-// cmd/relaxsim, cmd/relaxbench).
+// (internal/sched/...) — the graph substrate (internal/graph), the
+// algorithms the paper analyzes (greedy MIS, maximal matching, greedy
+// coloring, list contraction, Knuth shuffle, and the dynamic-priority
+// contrast workloads: SSSP with optional Δ-stepping bucketing, and k-core
+// decomposition, under internal/algos/...), and the simulation and benchmark
+// harnesses that regenerate the paper's Table 1 and Figure 2 (internal/sim,
+// internal/bench, cmd/relaxsim, cmd/relaxbench).
 //
 // The root package contains no code; it exists to carry this documentation
 // and the repository-level benchmarks in bench_test.go, which regenerate

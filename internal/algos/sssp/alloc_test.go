@@ -1,0 +1,58 @@
+package sssp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+// TestHotLoopsZeroAllocs pins the allocation profile of the dynamic-engine
+// port: a Stale check or an Expand call scans one contiguous CSR neighbors
+// run with aligned weights and must not allocate, no matter how many
+// vertices are relaxed. The emitter is pre-grown (as the engine's per-worker
+// emitters are after warm-up), so emission itself is also allocation-free.
+func TestHotLoopsZeroAllocs(t *testing.T) {
+	r := rng.New(77)
+	g, err := graph.GNM(2000, 20000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := graph.RandomWeights(g, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	dist := make([]atomic.Uint32, n)
+	for i := range dist {
+		dist[i].Store(Unreachable)
+	}
+	dist[0].Store(0)
+	p := &concProblem{g: g, w: w, dist: dist, delta: 1}
+	em := &core.Emitter{}
+
+	// Warm up: relax every vertex once so the emitter buffer reaches its
+	// steady-state capacity and most labels settle.
+	for v := 0; v < n; v++ {
+		p.Expand(int32(v), 0, em)
+		em.Reset()
+	}
+
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < n; v++ {
+			_ = p.Stale(int32(v), 0)
+		}
+	}); avg != 0 {
+		t.Fatalf("Stale allocated %.1f times per full scan, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		for v := 0; v < n; v++ {
+			p.Expand(int32(v), 0, em)
+			em.Reset()
+		}
+	}); avg != 0 {
+		t.Fatalf("Expand allocated %.1f times per full scan, want 0", avg)
+	}
+}

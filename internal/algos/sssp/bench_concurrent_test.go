@@ -1,0 +1,40 @@
+package sssp
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched/multiqueue"
+)
+
+// BenchmarkConcurrentSSSP times the concurrent shortest-path executor on a
+// 100k-vertex G(n, m) instance across worker counts — the number tracked by
+// the EXPERIMENTS.md note on the dynamic-engine port (per-worker counter
+// false sharing, batched pops).
+func BenchmarkConcurrentSSSP(b *testing.B) {
+	r := rng.New(1)
+	g, err := graph.GNM(100_000, 1_000_000, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := graph.RandomWeights(g, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mq := multiqueue.NewConcurrent(4*workers, g.NumVertices(), uint64(i)+1)
+				dist, st, err := RunConcurrent(g, w, 0, mq, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dist[1] == Unreachable || st.Pops == 0 {
+					b.Fatal("implausible result")
+				}
+			}
+		})
+	}
+}

@@ -1,13 +1,16 @@
 // Package sssp implements single-source shortest paths with priority
 // schedulers: exact sequential Dijkstra, a relaxed sequential-model variant,
-// and a concurrent variant driven by a relaxed scheduler.
+// a concurrent variant driven by a relaxed scheduler, and Δ-stepping-style
+// bucketed variants that trade priority precision for scheduler throughput.
 //
 // SSSP is the classic motivating example for relaxed priority scheduling
 // (the paper cites it as the standard application of SprayLists and
 // MultiQueues) but it does not fit the deterministic framework of package
 // core: task priorities are tentative distances, which change during the
 // execution, so the required priority permutation cannot be drawn uniformly
-// at random up front. Correctness is instead preserved because distance
+// at random up front. It is instead expressed as a core.DynamicProblem and
+// executed by the dynamic-priority engine (core.RunDynamic /
+// core.RunDynamicConcurrent). Correctness is preserved because distance
 // labels only ever decrease and every improvement re-inserts the vertex; the
 // cost of relaxation shows up as wasted (stale) queue pops rather than as
 // failed deletes. This package therefore lives beside the framework as the
@@ -17,10 +20,9 @@ package sssp
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/sched"
 )
@@ -39,6 +41,18 @@ type Stats struct {
 	// Relaxations is the number of edge relaxations that improved a
 	// distance.
 	Relaxations int64
+	// EmptyPolls is the number of scheduler polls that found nothing while
+	// work remained (concurrent executions only).
+	EmptyPolls int64
+}
+
+func fromDynamic(st core.DynamicStats) Stats {
+	return Stats{
+		Pops:        st.Pops,
+		StalePops:   st.StalePops,
+		Relaxations: st.Emitted,
+		EmptyPolls:  st.EmptyPolls,
+	}
 }
 
 // Dijkstra computes exact shortest-path distances from src using a binary
@@ -72,139 +86,155 @@ func Dijkstra(g *graph.Graph, w *graph.Weights, src int) ([]uint32, error) {
 	return dist, nil
 }
 
+// seqProblem is the sequential-model shortest-path workload expressed as a
+// core.DynamicProblem: labels are plain uint32 distances, an item is stale
+// when its priority bucket lies above the current distance's bucket, and
+// expansion relaxes the vertex's out-edges, emitting every improved neighbor
+// with its new bucketed priority.
+type seqProblem struct {
+	g     *graph.Graph
+	w     *graph.Weights
+	dist  []uint32
+	delta uint32
+}
+
+func (p *seqProblem) Stale(task int32, priority uint32) bool {
+	return priority > p.dist[task]/p.delta
+}
+
+func (p *seqProblem) Expand(task int32, _ uint32, em *core.Emitter) {
+	v := int(task)
+	d := p.dist[v]
+	base := p.g.AdjOffset(v)
+	for i, u := range p.g.Neighbors(v) {
+		nd := d + p.w.At(base+i)
+		if nd < p.dist[u] {
+			p.dist[u] = nd
+			em.Emit(u, nd/p.delta)
+		}
+	}
+}
+
+func (p *seqProblem) Done() bool { return false }
+
+// concProblem is the concurrent shortest-path workload: distance labels are
+// updated with compare-and-swap minimum, so the result is exact regardless
+// of how relaxed the scheduler is. It is safe for concurrent Stale/Expand
+// calls as the dynamic engine requires.
+type concProblem struct {
+	g     *graph.Graph
+	w     *graph.Weights
+	dist  []atomic.Uint32
+	delta uint32
+}
+
+func (p *concProblem) Stale(task int32, priority uint32) bool {
+	return priority > p.dist[task].Load()/p.delta
+}
+
+func (p *concProblem) Expand(task int32, _ uint32, em *core.Emitter) {
+	v := int(task)
+	d := p.dist[v].Load()
+	base := p.g.AdjOffset(v)
+	for i, u := range p.g.Neighbors(v) {
+		nd := d + p.w.At(base+i)
+		for {
+			cur := p.dist[u].Load()
+			if nd >= cur {
+				break
+			}
+			if p.dist[u].CompareAndSwap(cur, nd) {
+				em.Emit(u, nd/p.delta)
+				break
+			}
+		}
+	}
+}
+
+func (p *concProblem) Done() bool { return false }
+
+func validate(g *graph.Graph, src int, s any, delta uint32) error {
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+	}
+	if s == nil {
+		return fmt.Errorf("sssp: scheduler must not be nil")
+	}
+	if delta < 1 {
+		return fmt.Errorf("sssp: delta must be at least 1, got %d", delta)
+	}
+	return nil
+}
+
 // RunRelaxed computes shortest-path distances using a (possibly relaxed)
 // sequential-model scheduler. The result is always exact; relaxation only
 // costs extra work, reported in Stats.
 func RunRelaxed(g *graph.Graph, w *graph.Weights, src int, s sched.Scheduler) ([]uint32, Stats, error) {
-	n := g.NumVertices()
-	if src < 0 || src >= n {
-		return nil, Stats{}, fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
+	return RunRelaxedDelta(g, w, src, s, 1)
+}
+
+// RunRelaxedDelta is RunRelaxed with Δ-stepping-style bucketed priorities:
+// an item's scheduler priority is its tentative distance divided by delta,
+// so all vertices within one bucket of width delta compare equal. Coarser
+// buckets mean cheaper, more collision-friendly priorities at the cost of
+// processing vertices further out of distance order — which shows up as
+// extra stale pops, never as wrong distances. Delta 1 reproduces RunRelaxed
+// exactly.
+func RunRelaxedDelta(g *graph.Graph, w *graph.Weights, src int, s sched.Scheduler, delta uint32) ([]uint32, Stats, error) {
+	if err := validate(g, src, s, delta); err != nil {
+		return nil, Stats{}, err
 	}
-	if s == nil {
-		return nil, Stats{}, fmt.Errorf("sssp: scheduler must not be nil")
-	}
-	dist := make([]uint32, n)
+	dist := make([]uint32, g.NumVertices())
 	for i := range dist {
 		dist[i] = Unreachable
 	}
 	dist[src] = 0
-	s.Insert(sched.Item{Task: int32(src), Priority: 0})
-
-	var st Stats
-	for {
-		it, ok := s.ApproxGetMin()
-		if !ok {
-			break
-		}
-		st.Pops++
-		v := int(it.Task)
-		if it.Priority > dist[v] {
-			st.StalePops++
-			continue
-		}
-		d := dist[v]
-		base := g.AdjOffset(v)
-		for i, u := range g.Neighbors(v) {
-			nd := d + w.At(base+i)
-			if nd < dist[u] {
-				dist[u] = nd
-				st.Relaxations++
-				s.Insert(sched.Item{Task: u, Priority: nd})
-			}
-		}
+	p := &seqProblem{g: g, w: w, dist: dist, delta: delta}
+	st, err := core.RunDynamic(p, []sched.Item{{Task: int32(src), Priority: 0}}, s)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	return dist, st, nil
+	return dist, fromDynamic(st), nil
 }
 
 // RunConcurrent computes shortest-path distances with worker goroutines
-// sharing a concurrent scheduler. Distance updates use compare-and-swap
+// sharing a concurrent scheduler, by handing the workload to the dynamic
+// engine (core.RunDynamicConcurrent). Distance updates use compare-and-swap
 // minimum, so the result is exact regardless of scheduling; relaxed
 // schedulers only add stale pops.
 func RunConcurrent(g *graph.Graph, w *graph.Weights, src int, s sched.Concurrent, workers int) ([]uint32, Stats, error) {
+	return RunConcurrentDelta(g, w, src, s, workers, 1, 0)
+}
+
+// RunConcurrentDelta is RunConcurrent with Δ-stepping-style bucketed
+// priorities (see RunRelaxedDelta) and an explicit engine batch size
+// (0 selects the engine default). Bucketing composes with batching: both
+// relax the effective delivery order, trading relaxation quality against
+// scheduler synchronization.
+func RunConcurrentDelta(g *graph.Graph, w *graph.Weights, src int, s sched.Concurrent, workers int, delta uint32, batch int) ([]uint32, Stats, error) {
+	if err := validate(g, src, s, delta); err != nil {
+		return nil, Stats{}, err
+	}
 	n := g.NumVertices()
-	if src < 0 || src >= n {
-		return nil, Stats{}, fmt.Errorf("sssp: source %d out of range [0,%d)", src, n)
-	}
-	if s == nil {
-		return nil, Stats{}, fmt.Errorf("sssp: scheduler must not be nil")
-	}
-	if workers < 1 {
-		return nil, Stats{}, fmt.Errorf("sssp: worker count must be at least 1, got %d", workers)
-	}
 	dist := make([]atomic.Uint32, n)
 	for i := range dist {
 		dist[i].Store(Unreachable)
 	}
 	dist[src].Store(0)
-
-	// pending counts items that are in the scheduler or currently being
-	// expanded; the execution is complete when it reaches zero.
-	var pending atomic.Int64
-	pending.Add(1)
-	s.Insert(sched.Item{Task: int32(src), Priority: 0})
-
-	stats := make([]Stats, workers)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			st := &stats[wk]
-			idle := 0
-			for {
-				if pending.Load() == 0 {
-					return
-				}
-				it, ok := s.ApproxGetMin()
-				if !ok {
-					idle++
-					if idle > 32 {
-						runtime.Gosched()
-					}
-					continue
-				}
-				idle = 0
-				st.Pops++
-				v := int(it.Task)
-				if it.Priority > dist[v].Load() {
-					st.StalePops++
-					pending.Add(-1)
-					continue
-				}
-				d := dist[v].Load()
-				base := g.AdjOffset(v)
-				for i, u := range g.Neighbors(v) {
-					nd := d + w.At(base+i)
-					for {
-						cur := dist[u].Load()
-						if nd >= cur {
-							break
-						}
-						if dist[u].CompareAndSwap(cur, nd) {
-							st.Relaxations++
-							pending.Add(1)
-							s.Insert(sched.Item{Task: u, Priority: nd})
-							break
-						}
-					}
-				}
-				pending.Add(-1)
-			}
-		}(wk)
+	p := &concProblem{g: g, w: w, dist: dist, delta: delta}
+	res, err := core.RunDynamicConcurrent(p, []sched.Item{{Task: int32(src), Priority: 0}}, s, core.DynamicOptions{
+		Workers:   workers,
+		BatchSize: batch,
+	})
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	wg.Wait()
-
 	out := make([]uint32, n)
 	for i := range out {
 		out[i] = dist[i].Load()
 	}
-	var total Stats
-	for _, st := range stats {
-		total.Pops += st.Pops
-		total.StalePops += st.StalePops
-		total.Relaxations += st.Relaxations
-	}
-	return out, total, nil
+	return out, fromDynamic(res.DynamicStats), nil
 }
 
 // Verify checks that dist is the exact shortest-path distance vector from

@@ -17,6 +17,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -42,6 +43,10 @@ const (
 	// with a few very high-degree hubs, the degree profile of web/social
 	// graphs and a harsher dependency structure for MIS and coloring.
 	ModelPowerLaw = "powerlaw"
+	// ModelGrid is a square grid — the road-network-like topology that is
+	// the classic Δ-stepping benchmark for the shortest-path workload: long
+	// shortest-path chains instead of the logarithmic diameter of G(n, p).
+	ModelGrid = "grid"
 )
 
 // Class describes one of Figure 2's graph classes.
@@ -83,13 +88,15 @@ func DefaultClasses() []Class {
 // SweepClasses returns the classes tracked by the worker-scaling sweep
 // behind BENCH_concurrent.json: the 100k-vertex G(n,p) instance the sweep
 // has always measured, a million-vertex G(n,p) instance (the large-graph
-// throughput track), and a power-law instance exercising hub-heavy
-// dependency structure.
+// throughput track), a power-law instance exercising hub-heavy dependency
+// structure, and a 500×500 grid — the dynamic-workload track, whose long
+// shortest-path chains are what Δ-stepping bucketing trades against.
 func SweepClasses() []Class {
 	return []Class{
 		{Name: "hundredk", Vertices: 100_000, Edges: 1_000_000},
 		{Name: "million", Vertices: 1_000_000, Edges: 10_000_000},
 		{Name: "powerlaw", Vertices: 200_000, Edges: 2_000_000, Model: ModelPowerLaw, Exponent: 2.5},
+		{Name: "grid", Vertices: 250_000, Edges: 499_000, Model: ModelGrid},
 	}
 }
 
@@ -115,12 +122,38 @@ const (
 // graph processing" extension the paper's future-work section calls for.
 type Algorithm string
 
-// Supported benchmark algorithms.
+// Supported benchmark algorithms. The first three run on the static
+// framework (core.RunConcurrent over a fixed priority permutation); sssp and
+// kcore are dynamic-priority workloads driven by the dynamic engine
+// (core.RunDynamicConcurrent), where wasted work appears as stale pops
+// instead of failed deletes.
 const (
 	AlgorithmMIS      Algorithm = "mis"
 	AlgorithmColoring Algorithm = "coloring"
 	AlgorithmMatching Algorithm = "matching"
+	AlgorithmSSSP     Algorithm = "sssp"
+	AlgorithmKCore    Algorithm = "kcore"
 )
+
+// Dynamic reports whether the algorithm is a dynamic-priority workload
+// (mutable priorities, runtime-generated tasks) rather than a static
+// framework algorithm.
+func (a Algorithm) Dynamic() bool {
+	return a == AlgorithmSSSP || a == AlgorithmKCore
+}
+
+// ParseAlgorithm validates an algorithm name from user input; the empty
+// string selects the default (MIS, as in Figure 2).
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch a := Algorithm(name); a {
+	case "":
+		return AlgorithmMIS, nil
+	case AlgorithmMIS, AlgorithmColoring, AlgorithmMatching, AlgorithmSSSP, AlgorithmKCore:
+		return a, nil
+	default:
+		return "", fmt.Errorf("bench: unknown algorithm %q", name)
+	}
+}
 
 // Config describes one Figure 2 panel (one graph class, a thread sweep).
 type Config struct {
@@ -138,6 +171,9 @@ type Config struct {
 	// BatchSize is the executor batch size (0 selects the executor default,
 	// 1 the single-item discipline).
 	BatchSize int
+	// Delta is the Δ-stepping bucket width for AlgorithmSSSP (0 or 1 keep
+	// exact distance priorities); other algorithms ignore it.
+	Delta uint32
 	// Seed makes graph generation and permutations reproducible.
 	Seed uint64
 	// Verify makes every parallel run check its output against the
@@ -205,29 +241,9 @@ type Report struct {
 // harnesses stay comparable by construction.
 func buildPanel(class Class, alg Algorithm, trials int, seed uint64) (*workload, stats.Summary, uint64, error) {
 	r := rng.New(seed ^ 0xbe9cbe9cbe9cbe9c)
-
-	// The paper generates each input graph with all available threads
-	// regardless of the thread count under test; the parallel generators
-	// mirror that and emit CSR shards directly.
-	n := class.Vertices
-	var g *graph.Graph
-	var err error
-	switch class.Model {
-	case "", ModelGNP:
-		p := float64(2*class.Edges) / (float64(n) * float64(n-1))
-		g, err = graph.ParallelGNP(n, p, runtime.GOMAXPROCS(0), r)
-	case ModelPowerLaw:
-		exponent := class.Exponent
-		if exponent == 0 {
-			exponent = 2.5
-		}
-		avgDeg := 2 * float64(class.Edges) / float64(n)
-		g, err = graph.PowerLaw(n, avgDeg, exponent, runtime.GOMAXPROCS(0), r)
-	default:
-		err = fmt.Errorf("unknown graph model %q", class.Model)
-	}
+	g, err := generateGraph(class, r)
 	if err != nil {
-		return nil, stats.Summary{}, 0, fmt.Errorf("bench: generating %s graph: %w", class.Name, err)
+		return nil, stats.Summary{}, 0, err
 	}
 	w, err := buildWorkload(alg, g, r)
 	if err != nil {
@@ -244,11 +260,54 @@ func buildPanel(class Class, alg Algorithm, trials int, seed uint64) (*workload,
 	return w, stats.Summarize(seqTimes), reference, nil
 }
 
+// generateGraph builds a class's input graph. The paper generates each
+// input graph with all available threads regardless of the thread count
+// under test; the parallel generators mirror that and emit CSR shards
+// directly.
+func generateGraph(class Class, r *rng.Rand) (*graph.Graph, error) {
+	n := class.Vertices
+	var g *graph.Graph
+	var err error
+	switch class.Model {
+	case "", ModelGNP:
+		p := float64(2*class.Edges) / (float64(n) * float64(n-1))
+		g, err = graph.ParallelGNP(n, p, runtime.GOMAXPROCS(0), r)
+	case ModelPowerLaw:
+		exponent := class.Exponent
+		if exponent == 0 {
+			exponent = 2.5
+		}
+		avgDeg := 2 * float64(class.Edges) / float64(n)
+		g, err = graph.PowerLaw(n, avgDeg, exponent, runtime.GOMAXPROCS(0), r)
+	case ModelGrid:
+		// Factor n as rows*cols with the most square shape available, so the
+		// built graph has exactly the class's declared vertex count (falling
+		// back to a 1×n path for primes).
+		rows := int(math.Sqrt(float64(n)))
+		for rows > 1 && n%rows != 0 {
+			rows--
+		}
+		if rows < 1 {
+			rows = 1
+		}
+		g = graph.Grid(rows, n/rows)
+	default:
+		err = fmt.Errorf("unknown graph model %q", class.Model)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: generating %s graph: %w", class.Name, err)
+	}
+	return g, nil
+}
+
 // Run executes one Figure 2 panel.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Class.Vertices <= 0 {
 		return Report{}, fmt.Errorf("bench: class has no vertices")
+	}
+	if cfg.Algorithm.Dynamic() {
+		return runDynamicPanel(cfg)
 	}
 	w, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed)
 	if err != nil {
@@ -330,10 +389,10 @@ func buildWorkload(alg Algorithm, g *graph.Graph, r *rng.Rand) (*workload, error
 			labels:   labels,
 			problem:  coloring.New(g),
 			runSequential: func() uint64 {
-				return hashInt32s(coloring.Sequential(g, labels))
+				return hashInts(coloring.Sequential(g, labels))
 			},
 			fingerprint: func(inst core.Instance) uint64 {
-				return hashInt32s(inst.(*coloring.Instance).Colors())
+				return hashInts(inst.(*coloring.Instance).Colors())
 			},
 		}, nil
 	case AlgorithmMatching:
@@ -384,7 +443,7 @@ func runParallel(w *workload, trials int, verify bool, threads, batch int, refer
 	}, nil
 }
 
-// hashBools and hashInt32s compute FNV-1a fingerprints of algorithm outputs
+// hashBools and hashInts compute FNV-1a fingerprints of algorithm outputs
 // so determinism checks do not need to retain full copies per trial.
 func hashBools(xs []bool) uint64 {
 	h := uint64(1469598103934665603)
@@ -398,7 +457,7 @@ func hashBools(xs []bool) uint64 {
 	return h
 }
 
-func hashInt32s(xs []int32) uint64 {
+func hashInts[T int32 | uint32](xs []T) uint64 {
 	h := uint64(1469598103934665603)
 	for _, x := range xs {
 		h = (h ^ uint64(uint32(x))) * 1099511628211

@@ -141,8 +141,8 @@ func TestHashHelpers(t *testing.T) {
 	if hashBools([]bool{true, false}) == hashBools([]bool{false, true}) {
 		t.Fatal("hashBools is order-insensitive")
 	}
-	if hashInt32s([]int32{1, 2}) == hashInt32s([]int32{2, 1}) {
-		t.Fatal("hashInt32s is order-insensitive")
+	if hashInts([]int32{1, 2}) == hashInts([]int32{2, 1}) {
+		t.Fatal("hashInts is order-insensitive")
 	}
 	if hashBools(nil) != hashBools([]bool{}) {
 		t.Fatal("empty hashes differ")

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"relaxsched/internal/algos/kcore"
+	"relaxsched/internal/algos/sssp"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/stats"
+)
+
+// This file is the dynamic-workload side of the harness: shortest paths and
+// k-core decomposition driven by the dynamic engine. The panel and sweep
+// shapes are identical to the static framework's — same classes, same
+// scheduler variants, same JSON layout — so BENCH_concurrent.json tracks
+// both executor families in one file. Counters are mapped by analogy:
+// ExtraIterations reports stale pops (the dynamic regime's wasted
+// deliveries) and tasks/sec divides settled tasks (vertices) by wall-clock
+// time.
+
+// dynCounters normalizes the per-trial wasted-work counters of the dynamic
+// workloads: for sssp, wasted deliveries are stale pops; for kcore, the
+// dirty-flag dedup keeps stale pops structurally zero and waste appears as
+// re-evaluations beyond the initial one per vertex.
+type dynCounters struct {
+	wasted     float64
+	emptyPolls float64
+}
+
+// dynWorkload bundles everything needed to benchmark one dynamic-priority
+// algorithm on one graph: the sequential baseline and an output fingerprint
+// for the exactness check, plus a parallel runner parameterized over
+// scheduler, worker count and engine batch size.
+type dynWorkload struct {
+	numTasks      int
+	runSequential func() uint64
+	runParallel   func(s sched.Concurrent, workers, batch int) (dynCounters, uint64, error)
+}
+
+// firstNonIsolated returns the lowest-numbered vertex with at least one
+// neighbor (0 for an empty or edgeless graph) — a deterministic
+// shortest-path source that is never trivially unreachable from everything.
+func firstNonIsolated(g *graph.Graph) int {
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(v) > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func buildDynWorkload(alg Algorithm, g *graph.Graph, seed uint64, delta uint32) (*dynWorkload, error) {
+	switch alg {
+	case AlgorithmSSSP:
+		if delta == 0 {
+			delta = 1
+		}
+		w, err := graph.RandomWeights(g, 100, seed^0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, fmt.Errorf("bench: generating weights: %w", err)
+		}
+		src := firstNonIsolated(g)
+		return &dynWorkload{
+			numTasks: g.NumVertices(),
+			runSequential: func() uint64 {
+				dist, err := sssp.Dijkstra(g, w, src)
+				if err != nil {
+					panic(err)
+				}
+				return hashInts(dist)
+			},
+			runParallel: func(s sched.Concurrent, workers, batch int) (dynCounters, uint64, error) {
+				dist, st, err := sssp.RunConcurrentDelta(g, w, src, s, workers, delta, batch)
+				if err != nil {
+					return dynCounters{}, 0, err
+				}
+				return dynCounters{wasted: float64(st.StalePops), emptyPolls: float64(st.EmptyPolls)}, hashInts(dist), nil
+			},
+		}, nil
+	case AlgorithmKCore:
+		return &dynWorkload{
+			numTasks: g.NumVertices(),
+			runSequential: func() uint64 {
+				return hashInts(kcore.Sequential(g))
+			},
+			runParallel: func(s sched.Concurrent, workers, batch int) (dynCounters, uint64, error) {
+				cores, st, err := kcore.RunConcurrent(g, s, workers, batch)
+				if err != nil {
+					return dynCounters{}, 0, err
+				}
+				wasted := float64(st.Pops) - float64(g.NumVertices())
+				return dynCounters{wasted: wasted, emptyPolls: float64(st.EmptyPolls)}, hashInts(cores), nil
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: algorithm %q is not a dynamic workload", alg)
+	}
+}
+
+// buildDynPanel mirrors buildPanel for the dynamic workloads: generate the
+// class graph, build the workload, time the sequential baseline.
+func buildDynPanel(class Class, alg Algorithm, trials int, seed uint64, delta uint32) (*dynWorkload, stats.Summary, uint64, error) {
+	r := rng.New(seed ^ 0xbe9cbe9cbe9cbe9c)
+	g, err := generateGraph(class, r)
+	if err != nil {
+		return nil, stats.Summary{}, 0, err
+	}
+	w, err := buildDynWorkload(alg, g, seed, delta)
+	if err != nil {
+		return nil, stats.Summary{}, 0, err
+	}
+	var seqTimes []float64
+	var reference uint64
+	for trial := 0; trial < trials; trial++ {
+		start := time.Now()
+		reference = w.runSequential()
+		seqTimes = append(seqTimes, time.Since(start).Seconds())
+	}
+	return w, stats.Summarize(seqTimes), reference, nil
+}
+
+// runDynParallel mirrors runParallel: one (scheduler, workers, batch) data
+// point, verified against the sequential fingerprint when asked. Both
+// dynamic workloads are exact under any scheduler, so a fingerprint mismatch
+// is a correctness bug, not a tolerated relaxation artifact.
+func runDynParallel(w *dynWorkload, trials int, verify bool, workers, batch int, reference uint64, factory func(trial int) sched.Concurrent) (Measurement, error) {
+	var times, stale, empties []float64
+	for trial := 0; trial < trials; trial++ {
+		start := time.Now()
+		counters, fingerprint, err := w.runParallel(factory(trial), workers, batch)
+		if err != nil {
+			return Measurement{}, err
+		}
+		times = append(times, time.Since(start).Seconds())
+		stale = append(stale, counters.wasted)
+		empties = append(empties, counters.emptyPolls)
+		if verify && fingerprint != reference {
+			return Measurement{}, fmt.Errorf("parallel output differs from the sequential output (exactness violation)")
+		}
+	}
+	return Measurement{
+		Threads:         workers,
+		Time:            stats.Summarize(times),
+		ExtraIterations: stats.Summarize(stale),
+		EmptyPolls:      stats.Summarize(empties),
+	}, nil
+}
+
+// runDynamicPanel executes one Figure 2-style panel for a dynamic workload:
+// relaxed MultiQueue versus exact FAA FIFO across the thread sweep, against
+// the sequential baseline (Dijkstra or bucket peeling).
+func runDynamicPanel(cfg Config) (Report, error) {
+	w, seqTime, reference, err := buildDynPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed, cfg.Delta)
+	if err != nil {
+		return Report{}, err
+	}
+	report := Report{Class: cfg.Class}
+	report.Sequential = Measurement{
+		Scheduler: SchedulerSequential,
+		Threads:   1,
+		Time:      seqTime,
+		Speedup:   1,
+	}
+	for _, threads := range cfg.Threads {
+		if threads < 1 {
+			return Report{}, fmt.Errorf("bench: invalid thread count %d", threads)
+		}
+		for _, name := range []string{SchedulerRelaxed, SchedulerExact} {
+			variant, err := schedulerVariant(name, ScalingConfig{QueueFactor: cfg.QueueFactor, Seed: cfg.Seed}, w.numTasks)
+			if err != nil {
+				return Report{}, err
+			}
+			m, err := runDynParallel(w, cfg.Trials, cfg.Verify, threads, cfg.BatchSize,
+				reference, func(trial int) sched.Concurrent { return variant.factory(threads, trial) })
+			if err != nil {
+				return Report{}, fmt.Errorf("bench: %s run at %d threads: %w", name, threads, err)
+			}
+			m.Scheduler = name
+			m.Speedup = report.Sequential.Time.Mean / m.Time.Mean
+			report.Measurements = append(report.Measurements, m)
+		}
+	}
+	return report, nil
+}
+
+// runScalingDynamic executes the worker-scaling sweep for a dynamic
+// workload, producing the same report shape as the static sweep so the two
+// executor families share BENCH_concurrent.json and the regression gate.
+func runScalingDynamic(cfg ScalingConfig) (ScalingReport, error) {
+	w, seqTime, reference, err := buildDynPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed, cfg.Delta)
+	if err != nil {
+		return ScalingReport{}, err
+	}
+	model := cfg.Class.Model
+	if model == "" {
+		model = ModelGNP
+	}
+	report := ScalingReport{
+		Class:             cfg.Class.Name,
+		Vertices:          cfg.Class.Vertices,
+		Edges:             cfg.Class.Edges,
+		Model:             model,
+		Algorithm:         string(cfg.Algorithm),
+		Tasks:             w.numTasks,
+		NumCPU:            runtime.NumCPU(),
+		Trials:            cfg.Trials,
+		Seed:              cfg.Seed,
+		SequentialSeconds: seqTime.Mean,
+	}
+	for _, name := range cfg.Schedulers {
+		variant, err := schedulerVariant(name, cfg, w.numTasks)
+		if err != nil {
+			return ScalingReport{}, err
+		}
+		for _, workers := range cfg.Workers {
+			if workers < 1 {
+				return ScalingReport{}, fmt.Errorf("bench: invalid worker count %d", workers)
+			}
+			for _, batch := range cfg.BatchSizes {
+				if batch < 1 {
+					return ScalingReport{}, fmt.Errorf("bench: invalid batch size %d", batch)
+				}
+				m, err := runDynParallel(w, cfg.Trials, cfg.Verify, workers, batch, reference,
+					func(trial int) sched.Concurrent { return variant.factory(workers, trial) })
+				if err != nil {
+					return ScalingReport{}, fmt.Errorf("bench: %s at %d workers batch %d: %w", name, workers, batch, err)
+				}
+				report.Points = append(report.Points, ScalingPoint{
+					Scheduler:             name,
+					Workers:               workers,
+					BatchSize:             batch,
+					TimeMeanSeconds:       m.Time.Mean,
+					TimeMinSeconds:        m.Time.Min,
+					ThroughputTasksPerSec: float64(w.numTasks) / m.Time.Mean,
+					Speedup:               report.SequentialSeconds / m.Time.Mean,
+					ExtraIterationsMean:   m.ExtraIterations.Mean,
+					EmptyPollsMean:        m.EmptyPolls.Mean,
+				})
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyClass() Class {
+	return Class{Name: "tiny", Vertices: 1200, Edges: 5000}
+}
+
+func TestDynamicPanelSSSPAndKCore(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmSSSP, AlgorithmKCore} {
+		report, err := Run(Config{
+			Class:     tinyClass(),
+			Algorithm: alg,
+			Threads:   []int{1, 2},
+			Trials:    1,
+			Seed:      3,
+			Verify:    true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		// 2 thread counts x 2 schedulers.
+		if len(report.Measurements) != 4 {
+			t.Fatalf("%s: got %d measurements, want 4", alg, len(report.Measurements))
+		}
+		for _, m := range report.Measurements {
+			if m.Time.Mean <= 0 {
+				t.Fatalf("%s: non-positive time in %+v", alg, m)
+			}
+			if m.Scheduler != SchedulerRelaxed && m.Scheduler != SchedulerExact {
+				t.Fatalf("%s: unexpected scheduler %q", alg, m.Scheduler)
+			}
+		}
+		if out := report.Format(); !strings.Contains(out, "tiny") {
+			t.Fatalf("%s: missing class name in format output:\n%s", alg, out)
+		}
+	}
+}
+
+func TestDynamicScalingSweepShape(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmSSSP, AlgorithmKCore} {
+		report, err := RunScaling(ScalingConfig{
+			Class:      tinyClass(),
+			Algorithm:  alg,
+			Workers:    []int{1, 2},
+			BatchSizes: []int{1, 16},
+			Trials:     1,
+			Seed:       5,
+			Verify:     true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if report.Algorithm != string(alg) || report.Tasks != tinyClass().Vertices {
+			t.Fatalf("%s: unexpected report header %+v", alg, report)
+		}
+		// 3 schedulers x 2 worker counts x 2 batch sizes.
+		if len(report.Points) != 12 {
+			t.Fatalf("%s: got %d points, want 12", alg, len(report.Points))
+		}
+		for _, pt := range report.Points {
+			if pt.ThroughputTasksPerSec <= 0 {
+				t.Fatalf("%s: non-positive throughput in %+v", alg, pt)
+			}
+		}
+	}
+}
+
+func TestDynamicSweepDeltaBucketing(t *testing.T) {
+	// Coarse Δ buckets must keep the sweep exact (Verify is on) while
+	// changing only wasted work; the report is tagged with the algorithm so
+	// the regression gate keys stay distinct from MIS.
+	report, err := RunScaling(ScalingConfig{
+		Class:      tinyClass(),
+		Algorithm:  AlgorithmSSSP,
+		Workers:    []int{2},
+		BatchSizes: []int{16},
+		Trials:     1,
+		Delta:      64,
+		Seed:       7,
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(report.Points))
+	}
+}
+
+func TestGridClassGeneration(t *testing.T) {
+	c, err := ClassByName("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Model != ModelGrid {
+		t.Fatalf("grid class model = %q", c.Model)
+	}
+	// A scaled-down grid panel end to end, verified.
+	report, err := Run(Config{
+		Class:     Class{Name: "minigrid", Vertices: 900, Edges: 1740, Model: ModelGrid},
+		Algorithm: AlgorithmSSSP,
+		Threads:   []int{1},
+		Trials:    1,
+		Seed:      11,
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Measurements) != 2 {
+		t.Fatalf("got %d measurements, want 2", len(report.Measurements))
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"":         AlgorithmMIS,
+		"mis":      AlgorithmMIS,
+		"coloring": AlgorithmColoring,
+		"matching": AlgorithmMatching,
+		"sssp":     AlgorithmSSSP,
+		"kcore":    AlgorithmKCore,
+	} {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %q, %v", name, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("galactic"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if AlgorithmMIS.Dynamic() || !AlgorithmSSSP.Dynamic() || !AlgorithmKCore.Dynamic() {
+		t.Fatal("Dynamic() misclassifies algorithms")
+	}
+}

@@ -54,6 +54,9 @@ type ScalingConfig struct {
 	// QueueFactor is the number of MultiQueue sub-queues per thread
 	// (default 4, as in the paper).
 	QueueFactor int
+	// Delta is the Δ-stepping bucket width for AlgorithmSSSP (0 or 1 keep
+	// exact distance priorities); other algorithms ignore it.
+	Delta uint32
 	// Seed makes graph generation and permutations reproducible.
 	Seed uint64
 	// Verify makes every run check its output against the sequential oracle.
@@ -127,6 +130,9 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Class.Vertices <= 0 {
 		return ScalingReport{}, fmt.Errorf("bench: class has no vertices")
+	}
+	if cfg.Algorithm.Dynamic() {
+		return runScalingDynamic(cfg)
 	}
 	w, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed)
 	if err != nil {

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"relaxsched/internal/sched"
+)
+
+// This file implements the second executor family of the package: engines for
+// problems whose tasks carry *mutable* priorities and generate work at
+// runtime. The framework of core.Problem covers fixed task sets under a
+// static priority permutation (MIS, coloring, matching); shortest paths and
+// k-core peeling do not fit it — their priorities are tentative quantities
+// (distances, degrees) that change during the execution, so tasks are
+// re-inserted with updated priorities instead of being processed exactly
+// once. The paper contrasts the two regimes: the deterministic framework is
+// its contribution, SSSP-style label correcting is the classic application
+// of relaxed priority queues it builds on. Both regimes now share one
+// batched, contention-aware execution core.
+
+// DynamicProblem describes a workload with mutable task priorities. An
+// execution starts from a set of seed items and repeatedly delivers items to
+// the problem: stale items (whose priority no longer reflects the current
+// state) are dropped, live items are expanded, and expansion may emit
+// follow-on items that re-enter the scheduler. The execution terminates when
+// every inserted item has been resolved, or as soon as Done reports true.
+//
+// Implementations used with RunDynamicConcurrent must be safe for concurrent
+// calls from multiple goroutines: Stale and Expand race on overlapping
+// neighborhoods, and correctness must come from the problem's own monotone
+// state updates (CAS-minimum distance labels, CAS-decreasing core estimates).
+type DynamicProblem interface {
+	// Stale reports whether a delivered item is outdated and should be
+	// dropped without expansion. The engine calls Stale exactly once per
+	// delivered item, so an implementation may claim the item as a side
+	// effect (e.g. clear a dirty bit) when it returns false.
+	Stale(task int32, priority uint32) bool
+	// Expand processes a live item and emits follow-on items through em.
+	// The emitted items are inserted into the scheduler by the engine.
+	Expand(task int32, priority uint32, em *Emitter)
+	// Done reports whether the execution may stop early, before the
+	// scheduler drains. Problems that always run to completion return false.
+	Done() bool
+}
+
+// Emitter collects the follow-on items produced by DynamicProblem.Expand.
+// The engine owns the buffer and flushes it to the scheduler in batches;
+// problems only call Emit.
+type Emitter struct {
+	// Worker is the index of the engine worker running the current Expand
+	// call (always 0 in the sequential engine). Problems that need scratch
+	// space during expansion index per-worker scratch with it instead of
+	// allocating per call.
+	Worker int
+	items  []sched.Item
+}
+
+// Emit adds a follow-on item.
+func (e *Emitter) Emit(task int32, priority uint32) {
+	e.items = append(e.items, sched.Item{Task: task, Priority: priority})
+}
+
+// Len returns the number of emitted items not yet flushed by the engine.
+func (e *Emitter) Len() int { return len(e.items) }
+
+// Items returns the buffered items. The slice aliases the emitter's storage
+// and is invalidated by the next Emit or Reset.
+func (e *Emitter) Items() []sched.Item { return e.items }
+
+// Reset discards the buffered items, retaining capacity.
+func (e *Emitter) Reset() { e.items = e.items[:0] }
+
+// DynamicStats counts the work performed by a dynamic-priority execution.
+type DynamicStats struct {
+	// Pops is the number of items delivered by the scheduler.
+	Pops int64
+	// StalePops is the number of delivered items dropped as stale — the
+	// dynamic analogue of the static framework's wasted iterations.
+	StalePops int64
+	// Emitted is the number of follow-on items emitted by expansions.
+	Emitted int64
+	// EmptyPolls is the number of scheduler polls that found nothing while
+	// work remained (concurrent executions only).
+	EmptyPolls int64
+}
+
+func (s *DynamicStats) add(o DynamicStats) {
+	s.Pops += o.Pops
+	s.StalePops += o.StalePops
+	s.Emitted += o.Emitted
+	s.EmptyPolls += o.EmptyPolls
+}
+
+// DynamicResult extends DynamicStats with per-worker detail.
+type DynamicResult struct {
+	DynamicStats
+	Workers []DynamicStats
+}
+
+// DynamicOptions configures RunDynamicConcurrent.
+type DynamicOptions struct {
+	// Workers is the number of goroutines processing items. It must be at
+	// least 1.
+	Workers int
+	// BatchSize is the number of items a worker requests from the scheduler
+	// per acquisition; emitted items are flushed back in batches of at least
+	// the same size. Zero selects DefaultBatchSize; 1 reproduces the
+	// single-item delivery discipline.
+	BatchSize int
+}
+
+// ErrNilProblem indicates a nil DynamicProblem.
+var ErrNilProblem = fmt.Errorf("core: problem must not be nil")
+
+// RunDynamic executes a dynamic-priority problem with a (possibly relaxed)
+// sequential-model scheduler: items are delivered one at a time, stale items
+// are dropped, and emitted items re-enter the scheduler. The execution ends
+// when the scheduler drains or Done reports true.
+func RunDynamic(p DynamicProblem, seeds []sched.Item, s sched.Scheduler) (DynamicStats, error) {
+	if p == nil {
+		return DynamicStats{}, ErrNilProblem
+	}
+	if s == nil {
+		return DynamicStats{}, ErrNilScheduler
+	}
+	for _, it := range seeds {
+		s.Insert(it)
+	}
+	var st DynamicStats
+	em := &Emitter{}
+	for !p.Done() {
+		it, ok := s.ApproxGetMin()
+		if !ok {
+			break
+		}
+		st.Pops++
+		if p.Stale(it.Task, it.Priority) {
+			st.StalePops++
+			continue
+		}
+		p.Expand(it.Task, it.Priority, em)
+		st.Emitted += int64(len(em.items))
+		for _, e := range em.items {
+			s.Insert(e)
+		}
+		em.Reset()
+	}
+	return st, nil
+}
+
+// dynWorkerState is one dynamic-engine worker's execution-time state, laid
+// out as two 64-byte cache lines exactly like the static engine's
+// workerState: the first line holds the counters only the owning worker
+// writes, the second the cross-worker-read published balance. See
+// workerState for why both the padding and the split matter.
+type dynWorkerState struct {
+	DynamicStats               // 32 bytes, written only by the owning worker
+	_            [64 - 32]byte // rest of the owner-private cache line
+	// balance is the worker's published (emitted - resolved) item count.
+	// Every inserted item is either a seed or counted by exactly one
+	// worker's balance before it becomes poppable, and every resolved item
+	// is subtracted after it has been fully handled, so
+	// len(seeds) + sum(balances) is an upper bound on the number of live
+	// items at all times and exact whenever all workers have published.
+	balance atomic.Int64
+	_       [64 - 8]byte
+}
+
+// Compile-time guard: dynWorkerState must stay exactly two 64-byte cache
+// lines. Adding a counter to DynamicStats without re-padding breaks this
+// assignment instead of silently re-introducing false sharing.
+var _ [128]byte = [unsafe.Sizeof(dynWorkerState{})]byte{}
+
+// sumBalances returns the total published item balance.
+func sumBalances(states []dynWorkerState) int64 {
+	var total int64
+	for i := range states {
+		total += states[i].balance.Load()
+	}
+	return total
+}
+
+// RunDynamicConcurrent executes a dynamic-priority problem with worker
+// goroutines sharing a concurrent scheduler. Workers drain the scheduler in
+// batches and flush emitted items back in batches (see
+// DynamicOptions.BatchSize), with the same idle backoff as the static
+// engine.
+//
+// Termination uses per-worker balance counters — the pending-item protocol
+// formerly private to the sssp package, lifted here and de-contended: a
+// worker publishes +1 for every item it emits *before* inserting it and -1
+// for every item it resolves *after* handling it, batched into one atomic
+// add per episode on the worker's own cache line. The published sum plus the
+// seed count therefore never undercounts live items, and a worker exits only
+// when it finds the scheduler empty and the exact sum reports zero.
+func RunDynamicConcurrent(p DynamicProblem, seeds []sched.Item, s sched.Concurrent, opts DynamicOptions) (DynamicResult, error) {
+	if p == nil {
+		return DynamicResult{}, ErrNilProblem
+	}
+	if s == nil {
+		return DynamicResult{}, ErrNilScheduler
+	}
+	if opts.Workers < 1 {
+		return DynamicResult{}, fmt.Errorf("%w: got %d", ErrNoWorkers, opts.Workers)
+	}
+	if opts.BatchSize < 0 {
+		return DynamicResult{}, fmt.Errorf("%w: got %d", ErrBadBatch, opts.BatchSize)
+	}
+	batch := opts.BatchSize
+	if batch == 0 {
+		batch = DefaultBatchSize
+	}
+
+	s.InsertBatch(seeds)
+	seeded := int64(len(seeds))
+
+	states := make([]dynWorkerState, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runDynamicWorker(p, s, batch, seeded, states, w)
+		}(w)
+	}
+	wg.Wait()
+
+	if remaining := seeded + sumBalances(states); remaining != 0 && !p.Done() {
+		return DynamicResult{}, fmt.Errorf("%w: %d items unresolved", ErrStuck, remaining)
+	}
+
+	res := DynamicResult{Workers: make([]DynamicStats, opts.Workers)}
+	for w := range states {
+		res.Workers[w] = states[w].DynamicStats
+		res.DynamicStats.add(states[w].DynamicStats)
+	}
+	return res, nil
+}
+
+func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, seeded int64, states []dynWorkerState, self int) {
+	ws := &states[self]
+	buf := make([]sched.Item, batch)
+	em := &Emitter{Worker: self, items: make([]sched.Item, 0, 2*batch)}
+	var backoff idleBackoff
+	// resolved counts items handled (expanded or dropped as stale) whose -1
+	// has not been published yet. Unpublished resolutions only make the
+	// global balance sum overcount live items, which is always safe.
+	var resolved int64
+
+	// flush publishes the emitted items and then inserts them. The order
+	// matters: publishing first keeps the balance sum from undercounting
+	// live items in the window where they are already poppable, which is
+	// what makes a zero sum a safe termination signal. The worker's pending
+	// resolutions ride along in the same atomic add.
+	flush := func() {
+		if len(em.items) == 0 && resolved == 0 {
+			return
+		}
+		ws.Emitted += int64(len(em.items))
+		ws.balance.Add(int64(len(em.items)) - resolved)
+		resolved = 0
+		if len(em.items) > 0 {
+			s.InsertBatch(em.items)
+			em.Reset()
+		}
+	}
+
+	for {
+		if p.Done() {
+			flush()
+			return
+		}
+		n := s.ApproxPopBatch(buf)
+		if n == 0 {
+			ws.EmptyPolls++
+			if resolved != 0 {
+				ws.balance.Add(-resolved)
+				resolved = 0
+			}
+			if seeded+sumBalances(states) == 0 {
+				return
+			}
+			backoff.wait()
+			continue
+		}
+		backoff.reset()
+
+		items := buf[:n]
+		sortBatch(items)
+		for _, it := range items {
+			ws.Pops++
+			if p.Stale(it.Task, it.Priority) {
+				ws.StalePops++
+				resolved++
+				continue
+			}
+			p.Expand(it.Task, it.Priority, em)
+			resolved++
+			if len(em.items) >= batch {
+				flush()
+			}
+		}
+		flush()
+	}
+}
