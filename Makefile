@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench sweep bench-smoke fuzz-smoke fmt fmt-check vet lint check
+.PHONY: build test race bench sweep bench-smoke fuzz-smoke fmt fmt-check vet lint doc check
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,13 @@ test:
 
 # Race-enabled tests on the packages with real concurrency: the executors
 # (static and dynamic), every scheduler family, the dynamic-priority
-# workloads (sssp, kcore), and the end-to-end integration matrix.
+# workloads (sssp, kcore, pagerank), the workload registry, and the
+# end-to-end integration matrix.
 race:
 	$(GO) test -race ./internal/core/... ./internal/sched/... \
-		./internal/algos/sssp/... ./internal/algos/kcore/... ./internal/integration/...
+		./internal/algos/sssp/... ./internal/algos/kcore/... \
+		./internal/algos/pagerank/... ./internal/workload/... \
+		./internal/integration/...
 
 # Repository-level benchmarks (one per table/figure of the paper).
 bench:
@@ -23,24 +26,31 @@ bench:
 
 # Worker-scaling sweep: regenerates BENCH_concurrent.json across the tracked
 # entries — MIS on the historical 100k G(n,p) instance, the million-vertex
-# instance and the power-law instance, plus the dynamic-priority workloads
-# (sssp, kcore) on the 100k and grid classes (see EXPERIMENTS.md). The
-# second invocation merges into the file written by the first.
+# instance and the power-law instance; the dynamic-priority workloads
+# (sssp, kcore) on the 100k and grid classes; and pagerank on the 100k and
+# power-law classes (at the tracked tolerance 1e-6 over a reduced grid —
+# push work scales with log(1/tol), see EXPERIMENTS.md). Later invocations
+# merge into the file written by the first.
 sweep:
 	$(GO) run ./cmd/relaxbench -sweep -class hundredk,million,powerlaw -json BENCH_concurrent.json
 	$(GO) run ./cmd/relaxbench -sweep -algo sssp,kcore -class hundredk,grid -append -json BENCH_concurrent.json
+	$(GO) run ./cmd/relaxbench -sweep -algo pagerank -class hundredk,powerlaw -tol 1e-6 \
+		-trials 1 -batches 16,64 -append -json BENCH_concurrent.json
 
 # Short sweep for CI: single trial, one batch size, gated against the
 # committed BENCH_concurrent.json — fails on a >25% relaxed-multiqueue
-# throughput regression for concurrent MIS or the dynamic sssp workload.
-# Writes its results over BENCH_concurrent.json (CI uploads them as an
-# artifact; locally, git restore to discard).
+# throughput regression for concurrent MIS, the dynamic sssp workload, or
+# residual-push pagerank. Writes its results over BENCH_concurrent.json (CI
+# uploads them as an artifact; locally, git restore to discard).
 bench-smoke:
 	@cp BENCH_concurrent.json /tmp/relaxsched-bench-baseline.json
 	$(GO) run ./cmd/relaxbench -sweep -class hundredk,million -trials 1 -batches 16,64 \
 		-json BENCH_concurrent.json \
 		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
 	$(GO) run ./cmd/relaxbench -sweep -algo sssp -class hundredk -trials 1 -batches 16,64 \
+		-append -json BENCH_concurrent.json \
+		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
+	$(GO) run ./cmd/relaxbench -sweep -algo pagerank -class hundredk -tol 1e-6 -trials 1 -batches 16,64 \
 		-append -json BENCH_concurrent.json \
 		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
 
@@ -70,4 +80,13 @@ lint: vet
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-check: fmt-check lint build test race
+# Documentation build check: go vet plus rendering every package's godoc
+# (including the runnable Example functions, which `go test` executes and
+# diff-checks against their Output comments).
+doc: vet
+	@for pkg in $$($(GO) list -f '{{if .GoFiles}}{{.ImportPath}}{{end}}' ./...); do \
+		$(GO) doc -all $$pkg >/dev/null || exit 1; \
+	done
+	$(GO) test -run '^Example' ./internal/core/ ./internal/workload/
+
+check: fmt-check lint doc build test race

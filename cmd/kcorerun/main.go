@@ -1,7 +1,8 @@
 // Command kcorerun computes the k-core decomposition of a graph in the
 // library's edge-list format (see cmd/graphgen), using any of the supported
 // execution modes, and reports timing, the degeneracy, and wasted-work
-// counters.
+// counters. It is a thin wrapper over the workload registry (see
+// cmd/relaxrun for the generic CLI that runs any registered workload).
 //
 // Examples:
 //
@@ -16,14 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
-	"relaxsched/internal/algos/kcore"
-	"relaxsched/internal/graph"
-	"relaxsched/internal/rng"
-	"relaxsched/internal/sched"
-	"relaxsched/internal/sched/exactheap"
-	"relaxsched/internal/sched/multiqueue"
+	"relaxsched/internal/workload"
 )
 
 func main() {
@@ -36,71 +31,50 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kcorerun", flag.ContinueOnError)
 	var (
-		inPath  = fs.String("in", "", "input edge-list file (required)")
-		mode    = fs.String("mode", "sequential", "execution mode: sequential, relaxed, concurrent, exact")
-		k       = fs.Int("k", 16, "relaxation factor for -mode relaxed (MultiQueue sub-queues)")
-		threads = fs.Int("threads", 4, "worker goroutines for -mode concurrent/exact")
-		batch   = fs.Int("batch", 0, "engine batch size for -mode concurrent/exact (0 = engine default)")
-		seed    = fs.Uint64("seed", 1, "random seed for the relaxed schedulers")
-		verify  = fs.Bool("verify", true, "verify the result against the sequential peeling oracle")
+		inPath   = fs.String("in", "", "input edge-list file (required)")
+		modeName = fs.String("mode", "sequential", "execution mode: sequential, relaxed, concurrent, exact")
+		k        = fs.Int("k", 16, "relaxation factor for -mode relaxed (MultiQueue sub-queues)")
+		threads  = fs.Int("threads", 4, "worker goroutines for -mode concurrent/exact")
+		batch    = fs.Int("batch", 0, "engine batch size for -mode concurrent/exact (0 = engine default)")
+		seed     = fs.Uint64("seed", 1, "random seed for the relaxed schedulers")
+		verify   = fs.Bool("verify", true, "verify the result against the sequential peeling oracle")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *inPath == "" {
-		return fmt.Errorf("-in is required")
+	if err := workload.ValidateFlags(*k, *threads, *batch); err != nil {
+		return err
 	}
-	if *k < 1 {
-		return fmt.Errorf("invalid relaxation factor %d: -k must be at least 1", *k)
-	}
-	if *threads < 1 {
-		return fmt.Errorf("invalid worker count %d: -threads must be at least 1", *threads)
-	}
-	if *batch < 0 {
-		return fmt.Errorf("invalid batch size %d: -batch must be non-negative (0 = engine default)", *batch)
-	}
-	f, err := os.Open(*inPath)
-	if err != nil {
-		return fmt.Errorf("opening input: %w", err)
-	}
-	defer f.Close()
-	g, err := graph.ReadEdgeList(f)
-	if err != nil {
-		return fmt.Errorf("parsing input: %w", err)
-	}
-
-	start := time.Now()
-	var (
-		cores []uint32
-		st    kcore.Stats
-	)
-	switch *mode {
-	case "sequential":
-		cores = kcore.Sequential(g)
-	case "relaxed":
-		cores, st, err = kcore.RunRelaxed(g, multiqueue.NewSequential(*k, g.NumVertices(), rng.New(*seed)))
-	case "concurrent":
-		mq := multiqueue.NewConcurrent(multiqueue.DefaultQueueFactor**threads, g.NumVertices(), *seed)
-		cores, st, err = kcore.RunConcurrent(g, mq, *threads, *batch)
-	case "exact":
-		// A coarse-locked exact heap: peeling follows strict minimum-degree
-		// order, the baseline the relaxed schedulers are compared against.
-		cores, st, err = kcore.RunConcurrent(g, sched.NewLocked(exactheap.New(g.NumVertices())), *threads, *batch)
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
-	}
+	mode, err := workload.ParseMode(*modeName)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	g, err := workload.LoadGraph(*inPath)
+	if err != nil {
+		return err
+	}
+	d, err := workload.Lookup("kcore")
+	if err != nil {
+		return err
+	}
+
+	res, err := d.RunMode(g, workload.RunConfig{
+		Mode:    mode,
+		K:       *k,
+		Threads: *threads,
+		Batch:   *batch,
+	}, workload.Params{Seed: *seed})
+	if err != nil {
+		return err
+	}
 
 	if *verify {
-		if err := kcore.Verify(g, cores); err != nil {
+		if err := res.Instance.Verify(res.Output); err != nil {
 			return fmt.Errorf("result verification failed: %w", err)
 		}
 	}
 	fmt.Fprintf(out, "graph: %s\n", g.String())
-	fmt.Fprintf(out, "mode: %s  time: %v  degeneracy: %d  pops: %d (%d stale)\n",
-		*mode, elapsed, kcore.Degeneracy(cores), st.Pops, st.StalePops)
+	fmt.Fprintf(out, "mode: %s  time: %v  %s  pops: %d (%d stale)\n",
+		mode, res.Elapsed, res.Output.Summary(), res.Cost.Pops, res.Cost.StalePops)
 	return nil
 }

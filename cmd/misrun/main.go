@@ -1,6 +1,8 @@
 // Command misrun computes a greedy maximal independent set for a graph in
 // the library's edge-list format (see cmd/graphgen), using any of the
 // supported execution modes, and reports timing and wasted-work counters.
+// It is a thin wrapper over the workload registry (see cmd/relaxrun for the
+// generic CLI that runs any registered workload).
 //
 // Examples:
 //
@@ -15,14 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
-	"relaxsched/internal/algos/mis"
-	"relaxsched/internal/core"
-	"relaxsched/internal/graph"
-	"relaxsched/internal/rng"
-	"relaxsched/internal/sched/faaqueue"
-	"relaxsched/internal/sched/multiqueue"
+	"relaxsched/internal/workload"
 )
 
 func main() {
@@ -35,87 +31,50 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("misrun", flag.ContinueOnError)
 	var (
-		inPath  = fs.String("in", "", "input edge-list file (required)")
-		mode    = fs.String("mode", "sequential", "execution mode: sequential, relaxed, concurrent, exact")
-		k       = fs.Int("k", 16, "relaxation factor for -mode relaxed (MultiQueue sub-queues)")
-		threads = fs.Int("threads", 4, "worker goroutines for -mode concurrent/exact")
-		batch   = fs.Int("batch", 0, "scheduler batch size for -mode concurrent/exact (0 = executor default)")
-		seed    = fs.Uint64("seed", 1, "random seed for the priority permutation")
-		verify  = fs.Bool("verify", true, "verify independence and maximality of the result")
+		inPath   = fs.String("in", "", "input edge-list file (required)")
+		modeName = fs.String("mode", "sequential", "execution mode: sequential, relaxed, concurrent, exact")
+		k        = fs.Int("k", 16, "relaxation factor for -mode relaxed (MultiQueue sub-queues)")
+		threads  = fs.Int("threads", 4, "worker goroutines for -mode concurrent/exact")
+		batch    = fs.Int("batch", 0, "scheduler batch size for -mode concurrent/exact (0 = executor default)")
+		seed     = fs.Uint64("seed", 1, "random seed for the priority permutation")
+		verify   = fs.Bool("verify", true, "verify independence and maximality of the result")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *inPath == "" {
-		return fmt.Errorf("-in is required")
+	if err := workload.ValidateFlags(*k, *threads, *batch); err != nil {
+		return err
 	}
-	if *k < 1 {
-		return fmt.Errorf("invalid relaxation factor %d: -k must be at least 1", *k)
-	}
-	if *threads < 1 {
-		return fmt.Errorf("invalid worker count %d: -threads must be at least 1", *threads)
-	}
-	if *batch < 0 {
-		return fmt.Errorf("invalid batch size %d: -batch must be non-negative (0 = executor default)", *batch)
-	}
-	f, err := os.Open(*inPath)
+	mode, err := workload.ParseMode(*modeName)
 	if err != nil {
-		return fmt.Errorf("opening input: %w", err)
+		return err
 	}
-	defer f.Close()
-	g, err := graph.ReadEdgeList(f)
+	g, err := workload.LoadGraph(*inPath)
 	if err != nil {
-		return fmt.Errorf("parsing input: %w", err)
+		return err
+	}
+	d, err := workload.Lookup("mis")
+	if err != nil {
+		return err
 	}
 
-	r := rng.New(*seed)
-	labels := core.RandomLabels(g.NumVertices(), r)
-
-	start := time.Now()
-	var (
-		inSet []bool
-		extra int64
-	)
-	switch *mode {
-	case "sequential":
-		inSet = mis.Sequential(g, labels)
-	case "relaxed":
-		set, res, runErr := mis.RunRelaxed(g, labels, multiqueue.NewSequential(*k, g.NumVertices(), r.Fork()))
-		if runErr != nil {
-			return runErr
-		}
-		inSet, extra = set, res.ExtraIterations()
-	case "concurrent":
-		mq := multiqueue.NewConcurrent(multiqueue.DefaultQueueFactor**threads, g.NumVertices(), *seed)
-		set, res, runErr := mis.RunConcurrent(g, labels, mq, core.ConcurrentOptions{Workers: *threads, BatchSize: *batch})
-		if runErr != nil {
-			return runErr
-		}
-		inSet, extra = set, res.ExtraIterations()
-	case "exact":
-		q := faaqueue.New(g.NumVertices())
-		set, res, runErr := mis.RunConcurrent(g, labels, q, core.ConcurrentOptions{Workers: *threads, BlockedPolicy: core.Wait, BatchSize: *batch})
-		if runErr != nil {
-			return runErr
-		}
-		inSet, extra = set, res.ExtraIterations()
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	res, err := d.RunMode(g, workload.RunConfig{
+		Mode:    mode,
+		K:       *k,
+		Threads: *threads,
+		Batch:   *batch,
+	}, workload.Params{Seed: *seed})
+	if err != nil {
+		return err
 	}
-	elapsed := time.Since(start)
 
 	if *verify {
-		if err := mis.Verify(g, inSet); err != nil {
+		if err := res.Instance.Verify(res.Output); err != nil {
 			return fmt.Errorf("result verification failed: %w", err)
 		}
 	}
-	size := 0
-	for _, in := range inSet {
-		if in {
-			size++
-		}
-	}
 	fmt.Fprintf(out, "graph: %s\n", g.String())
-	fmt.Fprintf(out, "mode: %s  time: %v  MIS size: %d  extra iterations: %d\n", *mode, elapsed, size, extra)
+	fmt.Fprintf(out, "mode: %s  time: %v  %s  extra iterations: %d\n",
+		mode, res.Elapsed, res.Output.Summary(), res.Cost.Wasted)
 	return nil
 }

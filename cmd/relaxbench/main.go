@@ -7,8 +7,11 @@
 //
 // against the optimized sequential baseline. Besides the static framework
 // workloads (mis, coloring, matching) it benchmarks the dynamic-priority
-// workloads (sssp — optionally Δ-stepping-bucketed via -delta — and kcore),
-// which run on the dynamic engine and report stale pops as wasted work.
+// workloads (sssp — optionally Δ-stepping-bucketed via -delta — kcore, and
+// pagerank — residual tolerance via -tol), which run on the dynamic engine
+// and report stale pops / re-evaluations / re-pushes as wasted work. All
+// workloads dispatch through the internal/workload registry, so -algo
+// accepts any registered name.
 //
 // With -sweep it instead runs the worker-scaling sweep: workers × batch
 // sizes × schedulers, reporting throughput per data point and writing the
@@ -23,6 +26,7 @@
 //	relaxbench -algo sssp -class grid -delta 16
 //	relaxbench -class hundredk,million,powerlaw -sweep   # the tracked MIS sweep
 //	relaxbench -sweep -algo sssp,kcore -class hundredk,grid -append  # the dynamic entries
+//	relaxbench -sweep -algo pagerank -class hundredk,powerlaw -tol 1e-6 -append
 //	relaxbench -vertices 100000 -edges 1000000 -threads 1,2,4
 //	relaxbench -sweep -batches 1,16,64 -json sweep.json
 //	relaxbench -sweep -baseline BENCH_concurrent.json -max-regression 0.25
@@ -52,7 +56,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("relaxbench", flag.ContinueOnError)
 	var (
-		algoCSV       = fs.String("algo", "mis", "comma-separated workloads: mis (Figure 2), coloring, matching, sssp, kcore")
+		algoCSV       = fs.String("algo", "mis", "comma-separated workloads: mis (Figure 2), coloring, matching, sssp, kcore, pagerank")
 		className     = fs.String("class", "", "comma-separated graph classes: sparse, smalldense, largedense, hundredk, million, powerlaw, grid (default: the three Figure 2 classes)")
 		vertices      = fs.Int("vertices", 0, "custom vertex count (overrides -class)")
 		edges         = fs.Int64("edges", 0, "custom edge count (with -vertices)")
@@ -61,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		queueFactor   = fs.Int("queue-factor", 4, "MultiQueue sub-queues per thread")
 		batch         = fs.Int("batch", 0, "executor batch size for panel runs (0 = executor default)")
 		delta         = fs.Uint64("delta", 1, "Δ-stepping bucket width for sssp priorities (1 = exact distances)")
+		tol           = fs.Float64("tol", 0, "pagerank target L1 error (0 = workload default 1e-9)")
 		seed          = fs.Uint64("seed", 1, "random seed")
 		verify        = fs.Bool("verify", true, "check every parallel result against the sequential oracle")
 		sweep         = fs.Bool("sweep", false, "run the worker-scaling sweep (workers x batch sizes) instead of Figure 2 panels")
@@ -91,7 +96,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var algos []bench.Algorithm
-	hasSSSP := false
+	hasSSSP, hasPageRank := false, false
 	for _, name := range strings.Split(*algoCSV, ",") {
 		a, err := bench.ParseAlgorithm(strings.TrimSpace(name))
 		if err != nil {
@@ -99,12 +104,19 @@ func run(args []string, out io.Writer) error {
 		}
 		algos = append(algos, a)
 		hasSSSP = hasSSSP || a == bench.AlgorithmSSSP
+		hasPageRank = hasPageRank || a == bench.AlgorithmPageRank
 	}
 	if *delta < 1 || *delta > math.MaxUint32 {
 		return fmt.Errorf("invalid delta %d: must be in [1, 2^32)", *delta)
 	}
 	if *delta != 1 && !hasSSSP {
 		return fmt.Errorf("-delta only applies to -algo sssp")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("invalid tolerance %v: -tol must be non-negative (0 = workload default)", *tol)
+	}
+	if *tol != 0 && !hasPageRank {
+		return fmt.Errorf("-tol only applies to -algo pagerank")
 	}
 
 	threads, err := parseInts(*threadsCSV, "thread count")
@@ -160,6 +172,7 @@ func run(args []string, out io.Writer) error {
 			Trials:      *trials,
 			QueueFactor: *queueFactor,
 			Delta:       uint32(*delta),
+			Tolerance:   *tol,
 			Seed:        *seed,
 			Verify:      *verify,
 		}, *jsonPath, *appendJSON, *baseline, *maxRegression)
@@ -178,6 +191,7 @@ func run(args []string, out io.Writer) error {
 				QueueFactor: *queueFactor,
 				BatchSize:   *batch,
 				Delta:       uint32(*delta),
+				Tolerance:   *tol,
 				Seed:        *seed,
 				Verify:      *verify,
 			})

@@ -151,6 +151,8 @@ func TestRunRejectsInvalidFlags(t *testing.T) {
 		{"zero delta", []string{"-algo", "sssp", "-vertices", "100", "-edges", "200", "-delta", "0"}},
 		{"delta overflows uint32", []string{"-algo", "sssp", "-vertices", "100", "-edges", "200", "-delta", "4294967296"}},
 		{"delta without sssp", []string{"-algo", "mis", "-vertices", "100", "-edges", "200", "-delta", "16"}},
+		{"negative tol", []string{"-algo", "pagerank", "-vertices", "100", "-edges", "200", "-tol", "-1e-9"}},
+		{"tol without pagerank", []string{"-algo", "mis", "-vertices", "100", "-edges", "200", "-tol", "1e-6"}},
 		{"append without sweep", []string{"-vertices", "100", "-edges", "200", "-append"}},
 		{"append without json", []string{"-sweep", "-vertices", "100", "-edges", "200", "-append", "-json", ""}},
 	}
@@ -338,5 +340,19 @@ func TestSweepClassList(t *testing.T) {
 	}
 	if len(reports) != 1 || reports[0].Class != "powerlaw" || reports[0].Model != "powerlaw" {
 		t.Fatalf("unexpected reports: %+v", reports)
+	}
+}
+
+func TestRunPageRankPanel(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-algo", "pagerank", "-vertices", "800", "-edges", "3200",
+		"-threads", "1,2", "-trials", "1", "-tol", "1e-6",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "best speedup") {
+		t.Fatalf("missing summary line:\n%s", out.String())
 	}
 }

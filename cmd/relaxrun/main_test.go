@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+	"relaxsched/internal/workload"
+)
+
+// writeTestGraph writes a random G(n,m) graph to a temp file and returns its
+// path.
+func writeTestGraph(t *testing.T, n int, m int64) string {
+	t.Helper()
+	g, err := graph.GNM(n, m, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEveryWorkloadEveryMode(t *testing.T) {
+	path := writeTestGraph(t, 500, 2500)
+	for _, name := range workload.Names() {
+		for _, mode := range []string{"sequential", "relaxed", "concurrent", "exact"} {
+			var out bytes.Buffer
+			err := run([]string{
+				"-workload", name, "-in", path, "-mode", mode, "-threads", "2", "-k", "8", "-seed", "3",
+			}, &out)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, mode, err)
+			}
+			got := out.String()
+			if !strings.Contains(got, "workload: "+name) || !strings.Contains(got, "mode: "+mode) {
+				t.Fatalf("%s/%s: unexpected output:\n%s", name, mode, got)
+			}
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range workload.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunPageRankKnobs(t *testing.T) {
+	path := writeTestGraph(t, 300, 1200)
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "pagerank", "-in", path, "-mode", "concurrent",
+		"-threads", "2", "-tol", "1e-7", "-damping", "0.9",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stale pops + re-pushes:") {
+		t.Fatalf("missing wasted-work label:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t, 50, 100)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"missing workload", []string{"-in", path}},
+		{"unknown workload", []string{"-workload", "galactic", "-in", path}},
+		{"missing input", []string{"-workload", "mis"}},
+		{"nonexistent file", []string{"-workload", "mis", "-in", "/does/not/exist"}},
+		{"unknown mode", []string{"-workload", "mis", "-in", path, "-mode", "quantum"}},
+		{"zero k", []string{"-workload", "mis", "-in", path, "-mode", "relaxed", "-k", "0"}},
+		{"zero threads", []string{"-workload", "kcore", "-in", path, "-mode", "concurrent", "-threads", "0"}},
+		{"negative batch", []string{"-workload", "kcore", "-in", path, "-mode", "concurrent", "-batch", "-1"}},
+		{"zero delta", []string{"-workload", "sssp", "-in", path, "-delta", "0"}},
+		{"explicit zero tol", []string{"-workload", "pagerank", "-in", path, "-tol", "0"}},
+		{"negative tol", []string{"-workload", "pagerank", "-in", path, "-tol", "-1e-9"}},
+		{"damping at 1", []string{"-workload", "pagerank", "-in", path, "-damping", "1"}},
+		{"source out of range", []string{"-workload", "sssp", "-in", path, "-source", "50"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}

@@ -7,15 +7,23 @@
 // dynamic-priority workloads (internal/core), the relaxed priority
 // schedulers it builds on — MultiQueue, SprayList, a deterministic k-bounded
 // queue, an exact binary heap, and a fetch-and-add FIFO baseline
-// (internal/sched/...) — the graph substrate (internal/graph), the
-// algorithms the paper analyzes (greedy MIS, maximal matching, greedy
-// coloring, list contraction, Knuth shuffle, and the dynamic-priority
-// contrast workloads: SSSP with optional Δ-stepping bucketing, and k-core
-// decomposition, under internal/algos/...), and the simulation and benchmark
-// harnesses that regenerate the paper's Table 1 and Figure 2 (internal/sim,
-// internal/bench, cmd/relaxsim, cmd/relaxbench).
+// (internal/sched/...) — the graph substrate (internal/graph), and the
+// workloads the paper analyzes plus the extensions it calls for: greedy MIS,
+// maximal matching, greedy coloring, list contraction, Knuth shuffle, and
+// the dynamic-priority workloads SSSP (optional Δ-stepping bucketing),
+// k-core decomposition, and residual-push PageRank (internal/algos/...).
+//
+// Every schedulable workload registers a descriptor in internal/workload —
+// the registry that ties algorithms to executors, schedulers, CLIs and the
+// benchmark harness. cmd/relaxrun runs any registered workload over an
+// edge-list graph in any execution mode; cmd/misrun and cmd/kcorerun are
+// thin single-workload wrappers; cmd/relaxbench and internal/bench
+// regenerate the paper's Figure 2 and the worker-scaling sweep behind
+// BENCH_concurrent.json; cmd/relaxsim and internal/sim regenerate Table 1.
+// See ARCHITECTURE.md for the layer diagram and the how-to-add-a-workload
+// walkthrough, and EXPERIMENTS.md for the measurement methodology.
 //
 // The root package contains no code; it exists to carry this documentation
 // and the repository-level benchmarks in bench_test.go, which regenerate
-// every table and figure of the paper's evaluation (see EXPERIMENTS.md).
+// every table and figure of the paper's evaluation.
 package relaxsched

@@ -23,6 +23,10 @@
 // vertex is ever queued: stale pops are structurally zero, and wasted work
 // appears as re-evaluations beyond the initial one per vertex
 // (Stats.Pops - NumVertices) instead.
+//
+// The workload registers as "kcore" in internal/workload (wasted work:
+// extra re-evaluations), which is how cmd/kcorerun, cmd/relaxrun,
+// cmd/relaxbench and internal/bench reach it.
 package kcore
 
 import (

@@ -15,6 +15,14 @@
 // cost of relaxation shows up as wasted (stale) queue pops rather than as
 // failed deletes. This package therefore lives beside the framework as the
 // non-deterministic counterpart that the paper contrasts against.
+//
+// The Δ-stepping variants (RunRelaxedDelta, RunConcurrentDelta) divide
+// priorities by a bucket width before they reach the scheduler, trading
+// priority precision for cheaper, more collision-friendly scheduling; Δ = 1
+// reproduces exact distance priorities. The workload registers as "sssp" in
+// internal/workload (input: random edge weights in [1, 100]; wasted work:
+// stale pops), which is how cmd/relaxrun, cmd/relaxbench and internal/bench
+// reach it.
 package sssp
 
 import (

@@ -1,18 +1,25 @@
 // Package bench is the concurrent benchmark harness behind the paper's
-// Figure 2: it measures the wall-clock time of computing a greedy MIS over
-// G(n, p) random graphs of three density classes, comparing
+// Figure 2: it measures the wall-clock time of workloads from the
+// internal/workload registry over G(n, p) random graphs (and power-law and
+// grid instances), comparing
 //
 //   - the relaxed framework on a concurrent MultiQueue (the paper's
 //     contribution),
 //   - the exact framework on a fetch-and-add FIFO with the wait-on-
 //     predecessor backoff (the paper's exact-scheduler baseline), and
-//   - the optimized sequential greedy algorithm (the speedup baseline),
+//   - the optimized sequential baseline (the speedup denominator),
 //
-// across a sweep of thread counts. The paper runs the three classes at
+// across a sweep of thread counts. The paper runs its three classes at
 // 10^8–10^10 edges on a 4-socket Xeon; this harness keeps the same class
 // shapes (sparse, small dense, large dense — i.e. the same average-degree
 // regimes) at sizes that fit a single development machine, which preserves
 // the qualitative comparison the figure makes.
+//
+// The harness is workload-agnostic: every algorithm — static-framework (mis,
+// coloring, matching) and dynamic-priority (sssp, kcore, pagerank) alike —
+// is dispatched through its registry descriptor, so panels, scaling sweeps,
+// the JSON trajectory and the regression gate gain a new workload the moment
+// it registers itself.
 package bench
 
 import (
@@ -23,16 +30,12 @@ import (
 	"strings"
 	"time"
 
-	"relaxsched/internal/algos/coloring"
-	"relaxsched/internal/algos/matching"
-	"relaxsched/internal/algos/mis"
 	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/rng"
 	"relaxsched/internal/sched"
-	"relaxsched/internal/sched/faaqueue"
-	"relaxsched/internal/sched/multiqueue"
 	"relaxsched/internal/stats"
+	"relaxsched/internal/workload"
 )
 
 // Graph models selectable per class.
@@ -117,42 +120,40 @@ const (
 	SchedulerExact      = "exact-faa"
 )
 
-// Algorithm selects which framework algorithm a panel benchmarks. The paper's
-// Figure 2 uses MIS; the other algorithms are provided as the "more general
-// graph processing" extension the paper's future-work section calls for.
+// Algorithm selects which registered workload a panel benchmarks. Values are
+// registry names (see internal/workload); the paper's Figure 2 uses MIS, the
+// other workloads are the "more general graph processing" extension the
+// paper's future-work section calls for.
 type Algorithm string
 
-// Supported benchmark algorithms. The first three run on the static
-// framework (core.RunConcurrent over a fixed priority permutation); sssp and
-// kcore are dynamic-priority workloads driven by the dynamic engine
-// (core.RunDynamicConcurrent), where wasted work appears as stale pops
-// instead of failed deletes.
+// The registered workloads, named for convenience.
 const (
 	AlgorithmMIS      Algorithm = "mis"
 	AlgorithmColoring Algorithm = "coloring"
 	AlgorithmMatching Algorithm = "matching"
 	AlgorithmSSSP     Algorithm = "sssp"
 	AlgorithmKCore    Algorithm = "kcore"
+	AlgorithmPageRank Algorithm = "pagerank"
 )
 
 // Dynamic reports whether the algorithm is a dynamic-priority workload
 // (mutable priorities, runtime-generated tasks) rather than a static
 // framework algorithm.
 func (a Algorithm) Dynamic() bool {
-	return a == AlgorithmSSSP || a == AlgorithmKCore
+	d, err := workload.Lookup(string(a))
+	return err == nil && d.Kind == workload.Dynamic
 }
 
-// ParseAlgorithm validates an algorithm name from user input; the empty
-// string selects the default (MIS, as in Figure 2).
+// ParseAlgorithm validates an algorithm name against the workload registry;
+// the empty string selects the default (MIS, as in Figure 2).
 func ParseAlgorithm(name string) (Algorithm, error) {
-	switch a := Algorithm(name); a {
-	case "":
+	if name == "" {
 		return AlgorithmMIS, nil
-	case AlgorithmMIS, AlgorithmColoring, AlgorithmMatching, AlgorithmSSSP, AlgorithmKCore:
-		return a, nil
-	default:
+	}
+	if _, err := workload.Lookup(name); err != nil {
 		return "", fmt.Errorf("bench: unknown algorithm %q", name)
 	}
+	return Algorithm(name), nil
 }
 
 // Config describes one Figure 2 panel (one graph class, a thread sweep).
@@ -174,11 +175,14 @@ type Config struct {
 	// Delta is the Δ-stepping bucket width for AlgorithmSSSP (0 or 1 keep
 	// exact distance priorities); other algorithms ignore it.
 	Delta uint32
+	// Tolerance is the target L1 error for AlgorithmPageRank (0 selects the
+	// workload default 1e-9); other algorithms ignore it.
+	Tolerance float64
 	// Seed makes graph generation and permutations reproducible.
 	Seed uint64
 	// Verify makes every parallel run check its output against the
-	// sequential MIS. It is on by default in tests and off for large timing
-	// runs only if explicitly disabled.
+	// sequential reference. It is on by default in tests and off for large
+	// timing runs only if explicitly disabled.
 	Verify bool
 }
 
@@ -193,9 +197,19 @@ func (c Config) withDefaults() Config {
 		c.Trials = 3
 	}
 	if c.QueueFactor <= 0 {
-		c.QueueFactor = multiqueue.DefaultQueueFactor
+		c.QueueFactor = DefaultQueueFactor
 	}
 	return c
+}
+
+// params maps a panel config onto the registry's workload parameters.
+func (c Config) params() workload.Params {
+	return workload.Params{
+		Seed:      c.Seed,
+		Delta:     c.Delta,
+		Tolerance: c.Tolerance,
+		Source:    -1, // sssp: first non-isolated vertex
+	}
 }
 
 // DefaultThreadSweep returns 1, 2, 4, ... up to GOMAXPROCS.
@@ -220,9 +234,9 @@ type Measurement struct {
 	// Speedup is the ratio of the sequential baseline's mean time to this
 	// measurement's mean time.
 	Speedup float64
-	// ExtraIterations summarizes wasted scheduler deliveries per trial
-	// (failed deletes plus dead skips beyond n; zero for the sequential
-	// baseline).
+	// ExtraIterations summarizes the workload's wasted-work metric per trial
+	// (see the workload's Descriptor.WastedWork label; zero for the
+	// sequential baseline).
 	ExtraIterations stats.Summary
 	// EmptyPolls summarizes scheduler polls that found nothing per trial.
 	EmptyPolls stats.Summary
@@ -235,29 +249,33 @@ type Report struct {
 	Measurements []Measurement
 }
 
-// buildPanel generates the class's input graph, builds the workload, and
-// times the sequential baseline — the setup shared by Run (Figure 2 panels)
-// and RunScaling (the worker-scaling sweep), so numbers from the two
-// harnesses stay comparable by construction.
-func buildPanel(class Class, alg Algorithm, trials int, seed uint64) (*workload, stats.Summary, uint64, error) {
+// buildPanel generates the class's input graph, binds the workload through
+// the registry, and times the sequential baseline — the setup shared by Run
+// (Figure 2 panels) and RunScaling (the worker-scaling sweep), so numbers
+// from the two harnesses stay comparable by construction.
+func buildPanel(class Class, alg Algorithm, trials int, seed uint64, p workload.Params) (workload.Instance, stats.Summary, workload.Output, error) {
 	r := rng.New(seed ^ 0xbe9cbe9cbe9cbe9c)
 	g, err := generateGraph(class, r)
 	if err != nil {
-		return nil, stats.Summary{}, 0, err
+		return nil, stats.Summary{}, nil, err
 	}
-	w, err := buildWorkload(alg, g, r)
+	d, err := workload.Lookup(string(alg))
 	if err != nil {
-		return nil, stats.Summary{}, 0, err
+		return nil, stats.Summary{}, nil, fmt.Errorf("bench: unknown algorithm %q", alg)
+	}
+	inst, err := d.New(g, p)
+	if err != nil {
+		return nil, stats.Summary{}, nil, err
 	}
 
 	var seqTimes []float64
-	var reference uint64
+	var reference workload.Output
 	for trial := 0; trial < trials; trial++ {
 		start := time.Now()
-		reference = w.runSequential()
+		reference = inst.RunSequential()
 		seqTimes = append(seqTimes, time.Since(start).Seconds())
 	}
-	return w, stats.Summarize(seqTimes), reference, nil
+	return inst, stats.Summarize(seqTimes), reference, nil
 }
 
 // generateGraph builds a class's input graph. The paper generates each
@@ -306,10 +324,7 @@ func Run(cfg Config) (Report, error) {
 	if cfg.Class.Vertices <= 0 {
 		return Report{}, fmt.Errorf("bench: class has no vertices")
 	}
-	if cfg.Algorithm.Dynamic() {
-		return runDynamicPanel(cfg)
-	}
-	w, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed)
+	inst, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed, cfg.params())
 	if err != nil {
 		return Report{}, err
 	}
@@ -326,29 +341,17 @@ func Run(cfg Config) (Report, error) {
 		if threads < 1 {
 			return Report{}, fmt.Errorf("bench: invalid thread count %d", threads)
 		}
-		for _, variant := range []struct {
-			name    string
-			policy  core.Policy
-			factory func(trial int) sched.Concurrent
-		}{
-			{
-				name:   SchedulerRelaxed,
-				policy: core.Reinsert,
-				factory: func(trial int) sched.Concurrent {
-					return multiqueue.NewConcurrent(cfg.QueueFactor*threads, w.numTasks, cfg.Seed+uint64(trial)*7919)
-				},
-			},
-			{
-				name:    SchedulerExact,
-				policy:  core.Wait,
-				factory: func(trial int) sched.Concurrent { return faaqueue.New(w.numTasks) },
-			},
-		} {
-			m, err := runParallel(w, cfg.Trials, cfg.Verify, threads, cfg.BatchSize, reference, variant.policy, variant.factory)
+		for _, name := range []string{SchedulerRelaxed, SchedulerExact} {
+			variant, err := schedulerVariant(name, cfg.QueueFactor, cfg.Seed, inst.NumTasks())
 			if err != nil {
-				return Report{}, fmt.Errorf("bench: %s run at %d threads: %w", variant.name, threads, err)
+				return Report{}, err
 			}
-			m.Scheduler = variant.name
+			m, err := runParallel(inst, cfg.Trials, cfg.Verify, threads, cfg.BatchSize, reference, variant.policy,
+				func(trial int) sched.Concurrent { return variant.factory(threads, trial) })
+			if err != nil {
+				return Report{}, fmt.Errorf("bench: %s run at %d threads: %w", name, threads, err)
+			}
+			m.Scheduler = name
 			m.Speedup = report.Sequential.Time.Mean / m.Time.Mean
 			report.Measurements = append(report.Measurements, m)
 		}
@@ -356,113 +359,38 @@ func Run(cfg Config) (Report, error) {
 	return report, nil
 }
 
-// workload bundles everything needed to benchmark one algorithm on one
-// graph: the framework problem, the priority labels, the sequential baseline
-// and an output fingerprint used for the determinism check.
-type workload struct {
-	numTasks      int
-	labels        []uint32
-	problem       core.Problem
-	runSequential func() uint64
-	fingerprint   func(inst core.Instance) uint64
-}
-
-func buildWorkload(alg Algorithm, g *graph.Graph, r *rng.Rand) (*workload, error) {
-	switch alg {
-	case AlgorithmMIS, "":
-		labels := core.RandomLabels(g.NumVertices(), r)
-		return &workload{
-			numTasks: g.NumVertices(),
-			labels:   labels,
-			problem:  mis.New(g),
-			runSequential: func() uint64 {
-				return hashBools(mis.Sequential(g, labels))
-			},
-			fingerprint: func(inst core.Instance) uint64 {
-				return hashBools(inst.(*mis.Instance).InSet())
-			},
-		}, nil
-	case AlgorithmColoring:
-		labels := core.RandomLabels(g.NumVertices(), r)
-		return &workload{
-			numTasks: g.NumVertices(),
-			labels:   labels,
-			problem:  coloring.New(g),
-			runSequential: func() uint64 {
-				return hashInts(coloring.Sequential(g, labels))
-			},
-			fingerprint: func(inst core.Instance) uint64 {
-				return hashInts(inst.(*coloring.Instance).Colors())
-			},
-		}, nil
-	case AlgorithmMatching:
-		numEdges := int(g.NumEdges())
-		labels := core.RandomLabels(numEdges, r)
-		return &workload{
-			numTasks: numEdges,
-			labels:   labels,
-			problem:  matching.New(g),
-			runSequential: func() uint64 {
-				return hashBools(matching.Sequential(g, labels))
-			},
-			fingerprint: func(inst core.Instance) uint64 {
-				return hashBools(inst.(*matching.Instance).Matching())
-			},
-		}, nil
-	default:
-		return nil, fmt.Errorf("bench: unknown algorithm %q", alg)
-	}
-}
-
-func runParallel(w *workload, trials int, verify bool, threads, batch int, reference uint64, policy core.Policy, factory func(trial int) sched.Concurrent) (Measurement, error) {
+// runParallel measures one (scheduler, workers, batch) data point: trials
+// timed runs through the registry instance, each verified against the
+// sequential reference output when asked.
+func runParallel(inst workload.Instance, trials int, verify bool, workers, batch int, reference workload.Output, policy core.Policy, factory func(trial int) sched.Concurrent) (Measurement, error) {
 	var times []float64
 	var extras []float64
 	var empties []float64
 	for trial := 0; trial < trials; trial++ {
 		start := time.Now()
-		res, err := core.RunConcurrent(w.problem, w.labels, factory(trial), core.ConcurrentOptions{
-			Workers:       threads,
-			BlockedPolicy: policy,
-			BatchSize:     batch,
+		out, cost, err := inst.RunConcurrent(factory(trial), workload.ConcOptions{
+			Workers:   workers,
+			BatchSize: batch,
+			Policy:    policy,
 		})
 		if err != nil {
 			return Measurement{}, err
 		}
 		times = append(times, time.Since(start).Seconds())
-		extras = append(extras, float64(res.ExtraIterations()))
-		empties = append(empties, float64(res.EmptyPolls))
-		if verify && w.fingerprint(res.Instance) != reference {
-			return Measurement{}, fmt.Errorf("parallel output differs from the sequential output (determinism violation)")
+		extras = append(extras, float64(cost.Wasted))
+		empties = append(empties, float64(cost.EmptyPolls))
+		if verify {
+			if err := inst.Matches(reference, out); err != nil {
+				return Measurement{}, err
+			}
 		}
 	}
 	return Measurement{
-		Threads:         threads,
+		Threads:         workers,
 		Time:            stats.Summarize(times),
 		ExtraIterations: stats.Summarize(extras),
 		EmptyPolls:      stats.Summarize(empties),
 	}, nil
-}
-
-// hashBools and hashInts compute FNV-1a fingerprints of algorithm outputs
-// so determinism checks do not need to retain full copies per trial.
-func hashBools(xs []bool) uint64 {
-	h := uint64(1469598103934665603)
-	for _, x := range xs {
-		var b uint64
-		if x {
-			b = 1
-		}
-		h = (h ^ b) * 1099511628211
-	}
-	return h
-}
-
-func hashInts[T int32 | uint32](xs []T) uint64 {
-	h := uint64(1469598103934665603)
-	for _, x := range xs {
-		h = (h ^ uint64(uint32(x))) * 1099511628211
-	}
-	return h
 }
 
 // Format renders the report as an aligned text table, one row per

@@ -137,18 +137,6 @@ func TestRunUnknownAlgorithm(t *testing.T) {
 	}
 }
 
-func TestHashHelpers(t *testing.T) {
-	if hashBools([]bool{true, false}) == hashBools([]bool{false, true}) {
-		t.Fatal("hashBools is order-insensitive")
-	}
-	if hashInts([]int32{1, 2}) == hashInts([]int32{2, 1}) {
-		t.Fatal("hashInts is order-insensitive")
-	}
-	if hashBools(nil) != hashBools([]bool{}) {
-		t.Fatal("empty hashes differ")
-	}
-}
-
 func TestRunRejectsBadConfig(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("empty config accepted")

@@ -124,6 +124,7 @@ func TestParseAlgorithm(t *testing.T) {
 		"matching": AlgorithmMatching,
 		"sssp":     AlgorithmSSSP,
 		"kcore":    AlgorithmKCore,
+		"pagerank": AlgorithmPageRank,
 	} {
 		got, err := ParseAlgorithm(name)
 		if err != nil || got != want {
@@ -133,7 +134,74 @@ func TestParseAlgorithm(t *testing.T) {
 	if _, err := ParseAlgorithm("galactic"); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if AlgorithmMIS.Dynamic() || !AlgorithmSSSP.Dynamic() || !AlgorithmKCore.Dynamic() {
+	if AlgorithmMIS.Dynamic() || !AlgorithmSSSP.Dynamic() || !AlgorithmKCore.Dynamic() || !AlgorithmPageRank.Dynamic() {
 		t.Fatal("Dynamic() misclassifies algorithms")
+	}
+}
+
+func TestPageRankPanelAndSweep(t *testing.T) {
+	// A loose tolerance keeps the panel fast; Verify compares every parallel
+	// run against the power-iteration reference through the L1 budget.
+	report, err := Run(Config{
+		Class:     tinyClass(),
+		Algorithm: AlgorithmPageRank,
+		Threads:   []int{1, 2},
+		Trials:    1,
+		Tolerance: 1e-6,
+		Seed:      3,
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Measurements) != 4 {
+		t.Fatalf("got %d measurements, want 4", len(report.Measurements))
+	}
+
+	sweep, err := RunScaling(ScalingConfig{
+		Class:      tinyClass(),
+		Algorithm:  AlgorithmPageRank,
+		Workers:    []int{1, 2},
+		BatchSizes: []int{1, 16},
+		Trials:     1,
+		Tolerance:  1e-6,
+		Seed:       5,
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Algorithm != string(AlgorithmPageRank) {
+		t.Fatalf("unexpected sweep header %+v", sweep)
+	}
+	// 3 schedulers x 2 worker counts x 2 batch sizes.
+	if len(sweep.Points) != 12 {
+		t.Fatalf("got %d points, want 12", len(sweep.Points))
+	}
+	for _, pt := range sweep.Points {
+		if pt.ThroughputTasksPerSec <= 0 {
+			t.Fatalf("non-positive throughput in %+v", pt)
+		}
+	}
+}
+
+func TestPageRankPowerLawPanelVerified(t *testing.T) {
+	// The hub-heavy case the sweep tracks, scaled down: power-law degrees
+	// concentrate residual mass at the hubs, the interesting regime for
+	// residual-ordered scheduling.
+	report, err := Run(Config{
+		Class:     Class{Name: "miniplaw", Vertices: 1500, Edges: 6000, Model: ModelPowerLaw, Exponent: 2.5},
+		Algorithm: AlgorithmPageRank,
+		Threads:   []int{2},
+		Trials:    1,
+		Tolerance: 1e-7,
+		Seed:      13,
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Measurements) != 2 {
+		t.Fatalf("got %d measurements, want 2", len(report.Measurements))
 	}
 }

@@ -13,12 +13,17 @@ import (
 	"relaxsched/internal/sched/faaqueue"
 	"relaxsched/internal/sched/kbounded"
 	"relaxsched/internal/sched/multiqueue"
+	"relaxsched/internal/workload"
 )
 
 // SchedulerLockedKBounded names the coarse-locked deterministic k-bounded
 // scheduler in sweep measurements. It exercises the sched.Batcher path: one
 // lock acquisition per batch with native batch operations inside.
 const SchedulerLockedKBounded = "locked-kbounded"
+
+// DefaultQueueFactor is the number of MultiQueue sub-queues per thread
+// (4, as in the paper).
+const DefaultQueueFactor = multiqueue.DefaultQueueFactor
 
 // DefaultBatchSweep returns the batch sizes the scaling sweep measures:
 // 1 (the single-item discipline), the executor default, and one size in
@@ -57,6 +62,9 @@ type ScalingConfig struct {
 	// Delta is the Δ-stepping bucket width for AlgorithmSSSP (0 or 1 keep
 	// exact distance priorities); other algorithms ignore it.
 	Delta uint32
+	// Tolerance is the target L1 error for AlgorithmPageRank (0 selects the
+	// workload default 1e-9); other algorithms ignore it.
+	Tolerance float64
 	// Seed makes graph generation and permutations reproducible.
 	Seed uint64
 	// Verify makes every run check its output against the sequential oracle.
@@ -80,9 +88,19 @@ func (c ScalingConfig) withDefaults() ScalingConfig {
 		c.Trials = 3
 	}
 	if c.QueueFactor <= 0 {
-		c.QueueFactor = multiqueue.DefaultQueueFactor
+		c.QueueFactor = DefaultQueueFactor
 	}
 	return c
+}
+
+// params maps a sweep config onto the registry's workload parameters.
+func (c ScalingConfig) params() workload.Params {
+	return workload.Params{
+		Seed:      c.Seed,
+		Delta:     c.Delta,
+		Tolerance: c.Tolerance,
+		Source:    -1, // sssp: first non-isolated vertex
+	}
 }
 
 // ScalingPoint is one (scheduler, workers, batch size) measurement.
@@ -99,7 +117,7 @@ type ScalingPoint struct {
 	ThroughputTasksPerSec float64 `json:"throughput_tasks_per_sec"`
 	// Speedup is the sequential baseline's mean time over this point's mean.
 	Speedup float64 `json:"speedup"`
-	// ExtraIterationsMean counts wasted scheduler deliveries per trial.
+	// ExtraIterationsMean counts the workload's wasted-work metric per trial.
 	ExtraIterationsMean float64 `json:"extra_iterations_mean"`
 	// EmptyPollsMean counts deliveries that found the scheduler empty.
 	EmptyPollsMean float64 `json:"empty_polls_mean"`
@@ -124,17 +142,14 @@ type ScalingReport struct {
 }
 
 // RunScaling executes the worker-scaling sweep: for one graph class and
-// algorithm it measures throughput for every (scheduler, workers, batch
-// size) combination against the sequential baseline.
+// registered workload it measures throughput for every (scheduler, workers,
+// batch size) combination against the sequential baseline.
 func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Class.Vertices <= 0 {
 		return ScalingReport{}, fmt.Errorf("bench: class has no vertices")
 	}
-	if cfg.Algorithm.Dynamic() {
-		return runScalingDynamic(cfg)
-	}
-	w, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed)
+	inst, seqTime, reference, err := buildPanel(cfg.Class, cfg.Algorithm, cfg.Trials, cfg.Seed, cfg.params())
 	if err != nil {
 		return ScalingReport{}, err
 	}
@@ -149,7 +164,7 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 		Edges:             cfg.Class.Edges,
 		Model:             model,
 		Algorithm:         string(cfg.Algorithm),
-		Tasks:             w.numTasks,
+		Tasks:             inst.NumTasks(),
 		NumCPU:            runtime.NumCPU(),
 		Trials:            cfg.Trials,
 		Seed:              cfg.Seed,
@@ -157,7 +172,7 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 	}
 
 	for _, name := range cfg.Schedulers {
-		variant, err := schedulerVariant(name, cfg, w.numTasks)
+		variant, err := schedulerVariant(name, cfg.QueueFactor, cfg.Seed, inst.NumTasks())
 		if err != nil {
 			return ScalingReport{}, err
 		}
@@ -169,7 +184,7 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 				if batch < 1 {
 					return ScalingReport{}, fmt.Errorf("bench: invalid batch size %d", batch)
 				}
-				m, err := runParallel(w, cfg.Trials, cfg.Verify, workers, batch, reference, variant.policy,
+				m, err := runParallel(inst, cfg.Trials, cfg.Verify, workers, batch, reference, variant.policy,
 					func(trial int) sched.Concurrent { return variant.factory(workers, trial) })
 				if err != nil {
 					return ScalingReport{}, fmt.Errorf("bench: %s at %d workers batch %d: %w", name, workers, batch, err)
@@ -180,7 +195,7 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 					BatchSize:             batch,
 					TimeMeanSeconds:       m.Time.Mean,
 					TimeMinSeconds:        m.Time.Min,
-					ThroughputTasksPerSec: float64(w.numTasks) / m.Time.Mean,
+					ThroughputTasksPerSec: float64(inst.NumTasks()) / m.Time.Mean,
 					Speedup:               report.SequentialSeconds / m.Time.Mean,
 					ExtraIterationsMean:   m.ExtraIterations.Mean,
 					EmptyPollsMean:        m.EmptyPolls.Mean,
@@ -191,20 +206,23 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 	return report, nil
 }
 
-// schedulerVariant maps a sweep scheduler name to its blocked-task policy
-// and per-(workers, trial) scheduler factory.
+// sweepVariant maps a sweep scheduler name to its blocked-task policy
+// (static workloads only) and per-(workers, trial) scheduler factory.
 type sweepVariant struct {
 	policy  core.Policy
 	factory func(workers, trial int) sched.Concurrent
 }
 
-func schedulerVariant(name string, cfg ScalingConfig, numTasks int) (sweepVariant, error) {
+func schedulerVariant(name string, queueFactor int, seed uint64, numTasks int) (sweepVariant, error) {
+	if queueFactor <= 0 {
+		queueFactor = DefaultQueueFactor
+	}
 	switch name {
 	case SchedulerRelaxed:
 		return sweepVariant{
 			policy: core.Reinsert,
 			factory: func(workers, trial int) sched.Concurrent {
-				return multiqueue.NewConcurrent(cfg.QueueFactor*workers, numTasks, cfg.Seed+uint64(trial)*7919)
+				return multiqueue.NewConcurrent(queueFactor*workers, numTasks, seed+uint64(trial)*7919)
 			},
 		}, nil
 	case SchedulerExact:
@@ -216,7 +234,7 @@ func schedulerVariant(name string, cfg ScalingConfig, numTasks int) (sweepVarian
 		return sweepVariant{
 			policy: core.Reinsert,
 			factory: func(workers, trial int) sched.Concurrent {
-				return sched.NewLocked(kbounded.New(cfg.QueueFactor*workers, numTasks))
+				return sched.NewLocked(kbounded.New(queueFactor*workers, numTasks))
 			},
 		}, nil
 	default:

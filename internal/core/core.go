@@ -1,5 +1,9 @@
-// Package core implements the paper's execution framework for iterative
-// algorithms with explicit dependencies (Section 2).
+// Package core implements the two executor families every workload in this
+// repository runs on: the paper's execution framework for iterative
+// algorithms with explicit dependencies (Section 2), and a dynamic-priority
+// engine for workloads whose priorities change at runtime.
+//
+// # The static framework
 //
 // A Problem describes a set of n tasks and, once bound to an execution via
 // NewInstance, can answer two questions about a task — is it Blocked (does it
@@ -21,6 +25,22 @@
 //     experiments: worker goroutines share a concurrent scheduler and
 //     process tasks in parallel, preserving determinism through the same
 //     Blocked checks.
+//
+// # The dynamic engine
+//
+// Shortest paths, k-core peeling and residual-push PageRank do not fit the
+// framework: their priorities are tentative quantities (distances, degrees,
+// residual mass) that change during the execution, and expansion generates
+// new work. They implement DynamicProblem — a once-per-item staleness check
+// plus an expansion emitting follow-on items through an Emitter — and run on
+// RunDynamic (sequential model) or RunDynamicConcurrent (batched workers
+// with per-worker-balance termination); see dynamic.go and the
+// ExampleRunDynamic godoc. Exactness comes from the problem's monotone state
+// updates, so relaxation costs only stale pops and re-evaluations, never
+// wrong output.
+//
+// Workloads of both families register in internal/workload, which is how the
+// CLIs and the bench harness reach them.
 package core
 
 import (

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/exactheap"
+)
+
+// chainRelax is a miniature label-correcting shortest-path problem on a
+// weighted chain 0 → 1 → 2 → 3 (edge weights 2, 3, 1): distance labels only
+// decrease, an item is stale when its priority no longer matches the current
+// label, and expansion relaxes the next edge and emits the improved vertex.
+type chainRelax struct {
+	dist    []uint32
+	weights []uint32
+}
+
+func (p *chainRelax) Stale(task int32, priority uint32) bool {
+	return priority > p.dist[task]
+}
+
+func (p *chainRelax) Expand(task int32, _ uint32, em *core.Emitter) {
+	v := int(task)
+	if v == len(p.dist)-1 {
+		return
+	}
+	if nd := p.dist[v] + p.weights[v]; nd < p.dist[v+1] {
+		p.dist[v+1] = nd
+		em.Emit(int32(v+1), nd)
+	}
+}
+
+func (p *chainRelax) Done() bool { return false }
+
+// ExampleRunDynamic executes a dynamic-priority problem to completion with
+// an exact sequential scheduler: seeds enter first, expansion emits
+// follow-on items with their new priorities, and the engine drains until no
+// work remains.
+func ExampleRunDynamic() {
+	const unreachable = ^uint32(0)
+	p := &chainRelax{
+		dist:    []uint32{0, unreachable, unreachable, unreachable},
+		weights: []uint32{2, 3, 1},
+	}
+	seeds := []sched.Item{{Task: 0, Priority: 0}}
+	stats, err := core.RunDynamic(p, seeds, exactheap.New(len(p.dist)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distances:", p.dist)
+	fmt.Printf("pops: %d (stale: %d), emitted: %d\n", stats.Pops, stats.StalePops, stats.Emitted)
+	// Output:
+	// distances: [0 2 5 6]
+	// pops: 4 (stale: 0), emitted: 3
+}

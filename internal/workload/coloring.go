@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"fmt"
+
+	"relaxsched/internal/algos/coloring"
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:       "coloring",
+		Kind:       Static,
+		Brief:      "greedy graph coloring (first free color in priority order)",
+		Input:      "undirected graph + random priority permutation",
+		WastedWork: "extra iterations",
+		New:        newColoring,
+	})
+}
+
+func coloringOutput(colors []int32) Output {
+	return &vecOutput[[]int32]{
+		data:        colors,
+		fingerprint: FingerprintInts(colors),
+		summary:     fmt.Sprintf("colors used: %d", coloring.NumColors(colors)),
+	}
+}
+
+func newColoring(g *graph.Graph, p Params) (Instance, error) {
+	labels := core.RandomLabels(g.NumVertices(), rng.New(p.Seed))
+	return &staticInstance{
+		labels:  labels,
+		problem: coloring.New(g),
+		sequential: func() Output {
+			return coloringOutput(coloring.Sequential(g, labels))
+		},
+		output: func(inst core.Instance) Output {
+			return coloringOutput(inst.(*coloring.Instance).Colors())
+		},
+		verify: func(out Output) error {
+			return coloring.Verify(g, out.(*vecOutput[[]int32]).data)
+		},
+	}, nil
+}

@@ -1,0 +1,53 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/workload"
+)
+
+// Example shows the whole registry loop a CLI or harness runs: look a
+// workload up by name, bind it to a graph, execute it in a mode, and check
+// the result against the workload's own oracle.
+func Example() {
+	// A triangle with a pendant path: the triangle is the 2-core.
+	g := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+
+	d, err := workload.Lookup("kcore")
+	if err != nil {
+		panic(err)
+	}
+	res, err := d.RunMode(g, workload.RunConfig{
+		Mode: workload.ModeRelaxed,
+		K:    4, // MultiQueue relaxation factor
+	}, workload.Params{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.Instance.Verify(res.Output); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s (%s, wasted work = %s)\n", d.Brief, d.Kind, d.WastedWork)
+	fmt.Println(res.Output.Summary())
+	// Output:
+	// k-core decomposition (order-independent h-index fixpoint) (dynamic, wasted work = extra re-evaluations)
+	// degeneracy: 2
+}
+
+// ExampleAll enumerates the registered workloads — the table behind
+// `relaxrun -list` and the bench harness's -algo values.
+func ExampleAll() {
+	for _, d := range workload.All() {
+		fmt.Printf("%-8s %s\n", d.Name, d.Kind)
+	}
+	// Output:
+	// coloring static
+	// kcore    dynamic
+	// matching static
+	// mis      static
+	// pagerank dynamic
+	// sssp     dynamic
+}

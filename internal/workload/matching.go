@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"fmt"
+
+	"relaxsched/internal/algos/matching"
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:       "matching",
+		Kind:       Static,
+		Brief:      "greedy maximal matching (MIS on the implicit line graph)",
+		Input:      "undirected graph + random edge-priority permutation",
+		WastedWork: "extra iterations",
+		New:        newMatching,
+	})
+}
+
+func matchingOutput(matched []bool) Output {
+	return &vecOutput[[]bool]{
+		data:        matched,
+		fingerprint: FingerprintBools(matched),
+		summary:     fmt.Sprintf("matching size: %d", matching.Size(matched)),
+	}
+}
+
+func newMatching(g *graph.Graph, p Params) (Instance, error) {
+	problem := matching.New(g) // builds the incidence structure once
+	labels := core.RandomLabels(problem.NumTasks(), rng.New(p.Seed))
+	return &staticInstance{
+		labels:  labels,
+		problem: problem,
+		sequential: func() Output {
+			return matchingOutput(matching.Sequential(g, labels))
+		},
+		output: func(inst core.Instance) Output {
+			return matchingOutput(inst.(*matching.Instance).Matching())
+		},
+		verify: func(out Output) error {
+			return matching.Verify(g, out.(*vecOutput[[]bool]).data)
+		},
+	}, nil
+}

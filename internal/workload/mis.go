@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"fmt"
+
+	"relaxsched/internal/algos/mis"
+	"relaxsched/internal/core"
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+func init() {
+	Register(Descriptor{
+		Name:       "mis",
+		Kind:       Static,
+		Brief:      "greedy maximal independent set (the paper's Figure 2 workload)",
+		Input:      "undirected graph + random priority permutation",
+		WastedWork: "extra iterations",
+		New:        newMIS,
+	})
+}
+
+func misOutput(inSet []bool) Output {
+	size := 0
+	for _, in := range inSet {
+		if in {
+			size++
+		}
+	}
+	return &vecOutput[[]bool]{
+		data:        inSet,
+		fingerprint: FingerprintBools(inSet),
+		summary:     fmt.Sprintf("MIS size: %d", size),
+	}
+}
+
+func newMIS(g *graph.Graph, p Params) (Instance, error) {
+	labels := core.RandomLabels(g.NumVertices(), rng.New(p.Seed))
+	return &staticInstance{
+		labels:  labels,
+		problem: mis.New(g),
+		sequential: func() Output {
+			return misOutput(mis.Sequential(g, labels))
+		},
+		output: func(inst core.Instance) Output {
+			return misOutput(inst.(*mis.Instance).InSet())
+		},
+		verify: func(out Output) error {
+			return mis.Verify(g, out.(*vecOutput[[]bool]).data)
+		},
+	}, nil
+}

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"relaxsched/internal/graph"
+	"relaxsched/internal/rng"
+)
+
+func TestRegistryHoldsAllSixWorkloads(t *testing.T) {
+	want := []string{"coloring", "kcore", "matching", "mis", "pagerank", "sssp"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry holds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry holds %v, want %v", got, want)
+		}
+	}
+	for _, d := range All() {
+		if d.Brief == "" || d.Input == "" || d.WastedWork == "" {
+			t.Fatalf("descriptor %q is missing documentation fields: %+v", d.Name, d)
+		}
+		if d.Kind != Static && d.Kind != Dynamic {
+			t.Fatalf("descriptor %q has invalid kind %v", d.Name, d.Kind)
+		}
+	}
+}
+
+func TestLookupUnknownName(t *testing.T) {
+	if _, err := Lookup("galactic"); err == nil {
+		t.Fatal("unknown workload accepted")
+	} else if !strings.Contains(err.Error(), "galactic") {
+		t.Fatalf("error does not name the workload: %v", err)
+	}
+}
+
+func TestRegisterRejectsBadDescriptors(t *testing.T) {
+	newInst := func(g *graph.Graph, p Params) (Instance, error) { return nil, nil }
+	cases := map[string]Descriptor{
+		"duplicate name": {Name: "mis", Kind: Static, New: newInst},
+		"empty name":     {Kind: Static, New: newInst},
+		"missing New":    {Name: "fresh1", Kind: Static},
+		"invalid kind":   {Name: "fresh2", New: newInst},
+	}
+	for name, d := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register accepted bad descriptor %+v", d)
+				}
+			}()
+			Register(d)
+		})
+	}
+	// None of the rejected descriptors may have leaked into the registry.
+	for _, leaked := range []string{"fresh1", "fresh2", ""} {
+		if _, err := Lookup(leaked); err == nil {
+			t.Fatalf("rejected descriptor %q leaked into the registry", leaked)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Fatalf("kind strings: %v, %v", Static, Dynamic)
+	}
+}
+
+// TestEveryWorkloadThroughEveryMode is the registry's end-to-end smoke: all
+// six workloads run in all four modes on one small graph, every output
+// passes the workload's own oracle, and Matches accepts outputs of the same
+// instance.
+func TestEveryWorkloadThroughEveryMode(t *testing.T) {
+	g, err := graph.GNM(400, 2000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range All() {
+		inst, err := d.New(g, Params{Seed: 5, Source: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if n := inst.NumTasks(); n <= 0 {
+			t.Fatalf("%s: NumTasks = %d", d.Name, n)
+		}
+		reference := inst.RunSequential()
+		if reference.Summary() == "" {
+			t.Fatalf("%s: empty summary", d.Name)
+		}
+		if err := inst.Verify(reference); err != nil {
+			t.Fatalf("%s: sequential output fails its own oracle: %v", d.Name, err)
+		}
+		for _, mode := range []Mode{ModeSequential, ModeRelaxed, ModeConcurrent, ModeExact} {
+			res, err := d.RunMode(g, RunConfig{Mode: mode, K: 8, Threads: 2}, Params{Seed: 5, Source: -1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, mode, err)
+			}
+			if err := res.Instance.Verify(res.Output); err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, mode, err)
+			}
+			if err := inst.Matches(reference, res.Output); err != nil {
+				// Outputs of distinct instances are comparable here because
+				// both were built from the same graph, seed and params.
+				t.Fatalf("%s/%s: %v", d.Name, mode, err)
+			}
+			if mode != ModeSequential && res.Cost.Pops == 0 {
+				t.Fatalf("%s/%s: no pops recorded", d.Name, mode)
+			}
+		}
+	}
+}
+
+func TestRunModeRejectsBadConfig(t *testing.T) {
+	g := graph.Path(10)
+	d, err := Lookup("mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]RunConfig{
+		"zero k relaxed":     {Mode: ModeRelaxed, K: 0},
+		"zero threads conc":  {Mode: ModeConcurrent, Threads: 0, K: 1},
+		"zero threads exact": {Mode: ModeExact, Threads: 0, K: 1},
+		"negative batch":     {Mode: ModeConcurrent, Threads: 1, K: 1, Batch: -1},
+		"unknown mode":       {Mode: Mode(99), Threads: 1, K: 1},
+	}
+	for name, cfg := range cases {
+		if _, err := d.RunMode(g, cfg, Params{}); err == nil {
+			t.Fatalf("%s: accepted %+v", name, cfg)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for name, want := range map[string]Mode{
+		"sequential": ModeSequential,
+		"relaxed":    ModeRelaxed,
+		"concurrent": ModeConcurrent,
+		"exact":      ModeExact,
+	} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Fatalf("Mode.String() = %q, want %q", got.String(), name)
+		}
+	}
+	if _, err := ParseMode("quantum"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := LoadGraph(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := LoadGraph("/does/not/exist"); err == nil {
+		t.Fatal("nonexistent path accepted")
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := ValidateFlags(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for name, args := range map[string][3]int{
+		"zero k":         {0, 1, 0},
+		"zero threads":   {1, 0, 0},
+		"negative batch": {1, 1, -1},
+	} {
+		if err := ValidateFlags(args[0], args[1], args[2]); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestFingerprintHelpers(t *testing.T) {
+	if FingerprintBools([]bool{true, false}) == FingerprintBools([]bool{false, true}) {
+		t.Fatal("FingerprintBools is order-insensitive")
+	}
+	if FingerprintInts([]int32{1, 2}) == FingerprintInts([]int32{2, 1}) {
+		t.Fatal("FingerprintInts is order-insensitive")
+	}
+	if FingerprintBools(nil) != FingerprintBools([]bool{}) {
+		t.Fatal("empty fingerprints differ")
+	}
+}
+
+func TestPageRankParamsValidation(t *testing.T) {
+	g := graph.Path(10)
+	d, err := Lookup("pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.New(g, Params{Tolerance: -1e-9}); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+	if _, err := d.New(g, Params{Damping: 1.5}); err == nil {
+		t.Fatal("damping above 1 accepted")
+	}
+	// Zero selects the documented defaults.
+	if _, err := d.New(g, Params{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPParamsValidation(t *testing.T) {
+	g := graph.Path(10)
+	d, err := Lookup("sssp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.New(g, Params{Source: 10}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	inst, err := d.New(g, Params{Source: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(inst.RunSequential()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesDetectsDivergence(t *testing.T) {
+	g, err := graph.GNM(200, 800, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Lookup("mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.New(g, Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.New(g, Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different permutations give different greedy MIS outputs, which
+	// Matches must flag as a determinism violation.
+	if err := a.Matches(a.RunSequential(), b.RunSequential()); err == nil {
+		t.Fatal("Matches accepted outputs of different permutations")
+	}
+}
