@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench sweep bench-smoke fuzz-smoke fmt fmt-check vet lint doc check
+.PHONY: build test race bench sweep bench-smoke fuzz-smoke serve serve-smoke fmt fmt-check vet lint doc check
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,14 @@ test:
 
 # Race-enabled tests on the packages with real concurrency: the executors
 # (static and dynamic), every scheduler family, the dynamic-priority
-# workloads (sssp, kcore, pagerank), the workload registry, and the
-# end-to-end integration matrix.
+# workloads (sssp, kcore, pagerank), the workload registry, the job service
+# (worker pool, graph cache, drain) and its daemon, and the end-to-end
+# integration matrix.
 race:
 	$(GO) test -race ./internal/core/... ./internal/sched/... \
 		./internal/algos/sssp/... ./internal/algos/kcore/... \
 		./internal/algos/pagerank/... ./internal/workload/... \
+		./internal/service/... ./cmd/relaxd/... \
 		./internal/integration/...
 
 # Repository-level benchmarks (one per table/figure of the paper).
@@ -53,6 +55,19 @@ bench-smoke:
 	$(GO) run ./cmd/relaxbench -sweep -algo pagerank -class hundredk -tol 1e-6 -trials 1 -batches 16,64 \
 		-append -json BENCH_concurrent.json \
 		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
+
+# Run the relaxd job service locally on the default port. Submit with e.g.
+#   curl -s localhost:8080/jobs -d '{"workload":"mis","mode":"concurrent",
+#     "graph":{"n":100000,"edges":1000000,"seed":7}}'
+serve:
+	$(GO) run ./cmd/relaxd
+
+# Service smoke, as run by CI: build the relaxd binary, boot it, drive a
+# MIS and a PageRank job over real HTTP, assert both verify and that a
+# repeated identical submit hits the graph cache, then SIGTERM and require
+# a clean drain (exit 0).
+serve-smoke:
+	RELAXSCHED_SMOKE_SERVE=1 $(GO) test -run '^TestServeSmokeBinary$$' -v ./cmd/relaxd/
 
 # 10-second fuzz of the edge-list parser, as run by CI.
 fuzz-smoke:

@@ -1,0 +1,120 @@
+// Command relaxd is the relaxed-scheduler job service: a long-running
+// daemon that executes any registry workload (mis, coloring, matching,
+// sssp, kcore, pagerank) on generated graphs, over an HTTP JSON API.
+//
+// Its pending-job queue is itself an internal/sched scheduler — selectable
+// with -jobsched between the exact heap, the MultiQueue, the deterministic
+// k-bounded queue and a priority-blind FIFO — so the paper's
+// relaxation-versus-throughput trade is applied, and measured, at job
+// granularity: every dispatch records the job's rank error and queue
+// latency, reported by GET /metrics. Repeated jobs on the same generator
+// spec share one CSR build through the graph cache.
+//
+// API (see internal/service):
+//
+//	POST /jobs         submit  {"workload":"mis","mode":"concurrent","graph":{"n":100000,"edges":1000000,"seed":7},"priority":10}
+//	GET  /jobs/{id}    status/result
+//	GET  /workloads    registry listing
+//	GET  /metrics      jobs by state, queue depth, cache hits, wasted work, rank error
+//	GET  /healthz      liveness
+//
+// SIGINT/SIGTERM drain gracefully: HTTP stays up through the drain — new
+// submissions get 503 while status polls keep working — and queued and
+// in-flight jobs finish. Past -drain-timeout the drain turns forced:
+// queued jobs are canceled and in-flight concurrent/relaxed executions
+// abort at their next batch boundary or pop (a sequential-mode job cannot
+// be preempted and finishes on its own). Then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relaxsched/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relaxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("relaxd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+		jobsched   = fs.String("jobsched", service.JobSchedMultiQueue, "job-queue scheduler: exact, multiqueue, kbounded, fifo")
+		jobschedK  = fs.Int("jobsched-k", 4, "relaxation factor for -jobsched multiqueue/kbounded")
+		workers    = fs.Int("workers", 2, "job worker goroutines")
+		queueDepth = fs.Int("queue-depth", 256, "admission bound on queued jobs (beyond it: 429)")
+		cacheCap   = fs.Int("cache", 8, "graph cache capacity in entries (negative disables)")
+		seed       = fs.Uint64("seed", 1, "seed for the relaxed job schedulers")
+		drain      = fs.Duration("drain-timeout", 30*time.Second, "grace period for finishing jobs on shutdown")
+		retain     = fs.Int("retain", 65536, "finished jobs kept queryable (oldest forgotten first)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mgr, err := service.NewManager(service.Options{
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobSched:      *jobsched,
+		JobSchedK:     *jobschedK,
+		CacheCapacity: *cacheCap,
+		Seed:          *seed,
+		RetainJobs:    *retain,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		closeCtx, cancel := context.WithCancel(context.Background())
+		cancel()
+		mgr.Close(closeCtx)
+		return err
+	}
+	fmt.Fprintf(out, "relaxd: listening on http://%s (jobsched=%s k=%d workers=%d queue-depth=%d cache=%d)\n",
+		ln.Addr(), *jobsched, *jobschedK, *workers, *queueDepth, *cacheCap)
+
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "relaxd: shutdown signal received, draining (timeout %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Close stops admission as its first action but HTTP stays up through
+	// the whole drain window (srv.Shutdown only runs afterwards), so new
+	// submissions get the documented 503 and clients can keep polling the
+	// jobs the daemon is still finishing.
+	if err := mgr.Close(drainCtx); err != nil {
+		fmt.Fprintf(out, "relaxd: forced drain after %v: queued jobs canceled, in-flight aborted\n", *drain)
+	} else {
+		fmt.Fprintln(out, "relaxd: drained cleanly")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		fmt.Fprintf(out, "relaxd: http shutdown: %v\n", err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe for the writer goroutine (run) and the
+// reader (the test) to share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, performs a
+// submit/poll round trip over real HTTP, then cancels the context (the
+// in-process equivalent of SIGTERM) and expects a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-jobsched", "exact"}, &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line in output:\n%s", out.String())
+	}
+
+	body := `{"workload":"mis","mode":"sequential","graph":{"n":500,"edges":2000,"seed":3}}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    int64  `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || st.ID == 0 {
+		t.Fatalf("submit: id=%d err=%v", st.ID, err)
+	}
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended %q", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job stuck in %q", st.State)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain returned %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("no clean-drain line:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	cases := map[string][]string{
+		"unknown jobsched": {"-jobsched", "mystery"},
+		"bad flag":         {"-no-such-flag"},
+		"bad addr":         {"-addr", "not-an-address:-1"},
+		"negative workers": {"-workers", "-2"},
+	}
+	for name, args := range cases {
+		if err := run(ctx, args, &out); err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+		}
+	}
+}

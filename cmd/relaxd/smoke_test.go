@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmokeBinary is the service smoke CI runs via `make serve-smoke`
+// (gated behind RELAXSCHED_SMOKE_SERVE=1 because it builds and execs the
+// real binary): build relaxd, start it as a separate process, submit a
+// small MIS and a PageRank job over real HTTP, assert both verify, assert
+// the graph cache reports hits > 0 after a second identical submit, then
+// SIGTERM the daemon and require a clean exit.
+func TestServeSmokeBinary(t *testing.T) {
+	if os.Getenv("RELAXSCHED_SMOKE_SERVE") == "" {
+		t.Skip("set RELAXSCHED_SMOKE_SERVE=1 to run the relaxd binary smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "relaxd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building relaxd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-jobsched", "multiqueue", "-jobsched-k", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// The first stdout line announces the bound address.
+	scanner := bufio.NewScanner(stdout)
+	var base string
+	for scanner.Scan() {
+		if m := listenRE.FindStringSubmatch(scanner.Text()); m != nil {
+			base = m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("relaxd printed no listen line; stderr: %s", stderr.String())
+	}
+	// Keep draining stdout so the daemon never blocks on a full pipe.
+	go func() {
+		for scanner.Scan() {
+		}
+	}()
+
+	submit := func(body string) int64 {
+		t.Helper()
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %s %s", body, resp.Status, payload)
+		}
+		var st struct {
+			ID int64 `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.ID
+	}
+	waitDone := func(id int64) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch st["state"] {
+			case "done":
+				return st
+			case "failed", "canceled":
+				t.Fatalf("job %d ended %v: %v", id, st["state"], st["error"])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("job %d did not finish", id)
+		return nil
+	}
+
+	misJob := `{"workload":"mis","mode":"concurrent","threads":2,"graph":{"n":20000,"edges":80000,"seed":7},"priority":5}`
+	prJob := `{"workload":"pagerank","mode":"concurrent","threads":2,"tolerance":1e-7,"graph":{"n":20000,"edges":80000,"seed":7},"priority":1}`
+
+	misStatus := waitDone(submit(misJob))
+	prStatus := waitDone(submit(prJob))
+	for name, st := range map[string]map[string]any{"mis": misStatus, "pagerank": prStatus} {
+		result, ok := st["result"].(map[string]any)
+		if !ok || result["verified"] != true {
+			t.Fatalf("%s job not verified: %v", name, st)
+		}
+	}
+
+	// The second identical MIS submit must hit the graph cache.
+	again := waitDone(submit(misJob))
+	if result, ok := again["result"].(map[string]any); !ok || result["graph_cache_hit"] != true {
+		t.Fatalf("repeat submit missed the graph cache: %v", again)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		RankError struct {
+			Count int64 `json:"count"`
+		} `json:"rank_error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Cache.Hits < 1 {
+		t.Fatalf("graph cache hits = %d after repeat submit", metrics.Cache.Hits)
+	}
+	if metrics.RankError.Count != 3 {
+		t.Fatalf("rank-error dispatch count = %d, want 3", metrics.RankError.Count)
+	}
+
+	// SIGTERM: the daemon must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("relaxd exited non-zero after SIGTERM: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("relaxd did not exit after SIGTERM")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"relaxsched/internal/service"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	cases := map[string][]string{
+		"missing url":     {},
+		"zero clients":    {"-url", "http://x", "-clients", "0"},
+		"zero jobs":       {"-url", "http://x", "-jobs", "0"},
+		"zero spread":     {"-url", "http://x", "-priority-spread", "0"},
+		"bad graph model": {"-url", "http://x", "-graph", "hypercube"},
+		"bad flag":        {"-frobnicate"},
+	}
+	for name, args := range cases {
+		if err := run(ctx, args, &out); err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+		}
+	}
+}
+
+// TestRunAgainstInProcessService drives the CLI end to end against a real
+// manager served over httptest, checking the printed report.
+func TestRunAgainstInProcessService(t *testing.T) {
+	m, err := service.NewManager(service.Options{Workers: 2, JobSched: service.JobSchedKBounded, JobSchedK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	}()
+
+	var out bytes.Buffer
+	err = run(context.Background(), []string{
+		"-url", srv.URL,
+		"-clients", "2",
+		"-jobs", "6",
+		"-workloads", "mis,kcore",
+		"-mode", "relaxed",
+		"-n", "400",
+		"-edges", "1600",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"6 done", "jobs/s", "rank error", "kbounded", "graph cache"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}

@@ -20,6 +20,13 @@
 // thin single-workload wrappers; cmd/relaxbench and internal/bench
 // regenerate the paper's Figure 2 and the worker-scaling sweep behind
 // BENCH_concurrent.json; cmd/relaxsim and internal/sim regenerate Table 1.
+//
+// On the serving path, internal/service and cmd/relaxd expose the registry
+// as a long-running job service over an HTTP JSON API: the pending-job
+// queue is itself an internal/sched scheduler (exact, MultiQueue,
+// k-bounded or FIFO), with per-job rank error and queue latency measured,
+// a graph cache keyed by canonical generator spec, bounded admission and
+// graceful drain; cmd/relaxload is its closed-loop load generator.
 // See ARCHITECTURE.md for the layer diagram and the how-to-add-a-workload
 // walkthrough, and EXPERIMENTS.md for the measurement methodology.
 //

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"relaxsched/internal/algos/kcore"
+	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/rng"
 	"relaxsched/internal/sched/multiqueue"
@@ -62,7 +63,7 @@ func run() error {
 	workers := runtime.GOMAXPROCS(0)
 	mq := multiqueue.NewConcurrent(multiqueue.DefaultQueueFactor*workers, g.NumVertices(), seed)
 	start = time.Now()
-	parallel, pst, err := kcore.RunConcurrent(g, mq, workers, 0)
+	parallel, pst, err := kcore.RunConcurrent(g, mq, core.DynamicOptions{Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"relaxsched/internal/algos/pagerank"
+	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/rng"
 	"relaxsched/internal/sched/multiqueue"
@@ -70,7 +71,7 @@ func run() error {
 	workers := runtime.GOMAXPROCS(0)
 	mq := multiqueue.NewConcurrent(multiqueue.DefaultQueueFactor*workers, g.NumVertices(), seed)
 	start = time.Now()
-	parallel, pst, err := pagerank.RunConcurrent(g, mq, workers, 0, opts)
+	parallel, pst, err := pagerank.RunConcurrent(g, mq, core.DynamicOptions{Workers: workers}, opts)
 	if err != nil {
 		return err
 	}

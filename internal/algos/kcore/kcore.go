@@ -285,21 +285,21 @@ func RunRelaxed(g *graph.Graph, s sched.Scheduler) ([]uint32, Stats, error) {
 }
 
 // RunConcurrent computes core numbers with worker goroutines sharing a
-// concurrent scheduler, via the dynamic engine. batch is the engine batch
-// size (0 selects the engine default).
-func RunConcurrent(g *graph.Graph, s sched.Concurrent, workers, batch int) ([]uint32, Stats, error) {
+// concurrent scheduler, via the dynamic engine. opts carries the engine
+// knobs (worker count, batch size, cancellation).
+func RunConcurrent(g *graph.Graph, s sched.Concurrent, opts core.DynamicOptions) ([]uint32, Stats, error) {
 	if s == nil {
 		return nil, Stats{}, fmt.Errorf("kcore: scheduler must not be nil")
 	}
-	if workers < 1 {
-		return nil, Stats{}, fmt.Errorf("kcore: worker count must be at least 1, got %d", workers)
+	if opts.Workers < 1 {
+		return nil, Stats{}, fmt.Errorf("kcore: worker count must be at least 1, got %d", opts.Workers)
 	}
 	n := g.NumVertices()
 	p := &concProblem{
 		g:       g,
 		est:     make([]atomic.Uint32, n),
 		dirty:   make([]atomic.Bool, n),
-		scratch: make([][]uint32, workers),
+		scratch: make([][]uint32, opts.Workers),
 	}
 	maxDeg := g.MaxDegree()
 	for w := range p.scratch {
@@ -309,10 +309,7 @@ func RunConcurrent(g *graph.Graph, s sched.Concurrent, workers, batch int) ([]ui
 		p.est[v].Store(uint32(g.Degree(v)))
 		p.dirty[v].Store(true)
 	}
-	res, err := core.RunDynamicConcurrent(p, seedItems(g), s, core.DynamicOptions{
-		Workers:   workers,
-		BatchSize: batch,
-	})
+	res, err := core.RunDynamicConcurrent(p, seedItems(g), s, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

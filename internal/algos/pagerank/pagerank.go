@@ -77,8 +77,8 @@ func (o Options) Validate() error {
 	if !(o.Damping > 0 && o.Damping < 1) {
 		return fmt.Errorf("pagerank: damping must lie in (0, 1), got %v", o.Damping)
 	}
-	if !(o.Tolerance > 0) {
-		return fmt.Errorf("pagerank: tolerance must be positive, got %v", o.Tolerance)
+	if !(o.Tolerance > 0) || math.IsInf(o.Tolerance, 1) {
+		return fmt.Errorf("pagerank: tolerance must be positive and finite, got %v", o.Tolerance)
 	}
 	return nil
 }
@@ -451,20 +451,20 @@ func RunRelaxed(g *graph.Graph, s sched.Scheduler, opts Options) ([]float64, Sta
 }
 
 // RunConcurrent computes PageRank with worker goroutines sharing a
-// concurrent scheduler, via the dynamic engine. batch is the engine batch
-// size (0 selects the engine default). The result is within opts.Tolerance
-// of the true PageRank vector in L1 for any scheduler and worker count; the
-// exact floating-point values vary run to run because concurrent pushes sum
-// residuals in nondeterministic order.
-func RunConcurrent(g *graph.Graph, s sched.Concurrent, workers, batch int, opts Options) ([]float64, Stats, error) {
+// concurrent scheduler, via the dynamic engine. dopts carries the engine
+// knobs (worker count, batch size, cancellation). The result is within
+// opts.Tolerance of the true PageRank vector in L1 for any scheduler and
+// worker count; the exact floating-point values vary run to run because
+// concurrent pushes sum residuals in nondeterministic order.
+func RunConcurrent(g *graph.Graph, s sched.Concurrent, dopts core.DynamicOptions, opts Options) ([]float64, Stats, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	if s == nil {
 		return nil, Stats{}, fmt.Errorf("pagerank: scheduler must not be nil")
 	}
-	if workers < 1 {
-		return nil, Stats{}, fmt.Errorf("pagerank: worker count must be at least 1, got %d", workers)
+	if dopts.Workers < 1 {
+		return nil, Stats{}, fmt.Errorf("pagerank: worker count must be at least 1, got %d", dopts.Workers)
 	}
 	n := g.NumVertices()
 	p := &concProblem{
@@ -485,10 +485,7 @@ func RunConcurrent(g *graph.Graph, s sched.Concurrent, workers, batch int, opts 
 		p.residual[v].Store(bits)
 		p.lastEmit[v].Store(seedPri)
 	}
-	res, err := core.RunDynamicConcurrent(p, seedItems(n, r0, p.theta), s, core.DynamicOptions{
-		Workers:   workers,
-		BatchSize: batch,
-	})
+	res, err := core.RunDynamicConcurrent(p, seedItems(n, r0, p.theta), s, dopts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -212,15 +212,15 @@ func RunRelaxedDelta(g *graph.Graph, w *graph.Weights, src int, s sched.Schedule
 // minimum, so the result is exact regardless of scheduling; relaxed
 // schedulers only add stale pops.
 func RunConcurrent(g *graph.Graph, w *graph.Weights, src int, s sched.Concurrent, workers int) ([]uint32, Stats, error) {
-	return RunConcurrentDelta(g, w, src, s, workers, 1, 0)
+	return RunConcurrentDelta(g, w, src, s, 1, core.DynamicOptions{Workers: workers})
 }
 
 // RunConcurrentDelta is RunConcurrent with Δ-stepping-style bucketed
-// priorities (see RunRelaxedDelta) and an explicit engine batch size
-// (0 selects the engine default). Bucketing composes with batching: both
-// relax the effective delivery order, trading relaxation quality against
-// scheduler synchronization.
-func RunConcurrentDelta(g *graph.Graph, w *graph.Weights, src int, s sched.Concurrent, workers int, delta uint32, batch int) ([]uint32, Stats, error) {
+// priorities (see RunRelaxedDelta) and explicit engine options (batch size,
+// cancellation). Bucketing composes with batching: both relax the effective
+// delivery order, trading relaxation quality against scheduler
+// synchronization.
+func RunConcurrentDelta(g *graph.Graph, w *graph.Weights, src int, s sched.Concurrent, delta uint32, opts core.DynamicOptions) ([]uint32, Stats, error) {
 	if err := validate(g, src, s, delta); err != nil {
 		return nil, Stats{}, err
 	}
@@ -231,10 +231,7 @@ func RunConcurrentDelta(g *graph.Graph, w *graph.Weights, src int, s sched.Concu
 	}
 	dist[src].Store(0)
 	p := &concProblem{g: g, w: w, dist: dist, delta: delta}
-	res, err := core.RunDynamicConcurrent(p, []sched.Item{{Task: int32(src), Priority: 0}}, s, core.DynamicOptions{
-		Workers:   workers,
-		BatchSize: batch,
-	})
+	res, err := core.RunDynamicConcurrent(p, []sched.Item{{Task: int32(src), Priority: 0}}, s, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -23,6 +23,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -320,6 +321,13 @@ func generateGraph(class Class, r *rng.Rand) (*graph.Graph, error) {
 
 // Run executes one Figure 2 panel.
 func Run(cfg Config) (Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: between trials the runner checks ctx
+// and in-flight concurrent trials abort at their next batch boundary, so a
+// canceled sweep returns promptly without orphaning worker goroutines.
+func RunContext(ctx context.Context, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Class.Vertices <= 0 {
 		return Report{}, fmt.Errorf("bench: class has no vertices")
@@ -346,7 +354,7 @@ func Run(cfg Config) (Report, error) {
 			if err != nil {
 				return Report{}, err
 			}
-			m, err := runParallel(inst, cfg.Trials, cfg.Verify, threads, cfg.BatchSize, reference, variant.policy,
+			m, err := runParallel(ctx, inst, cfg.Trials, cfg.Verify, threads, cfg.BatchSize, reference, variant.policy,
 				func(trial int) sched.Concurrent { return variant.factory(threads, trial) })
 			if err != nil {
 				return Report{}, fmt.Errorf("bench: %s run at %d threads: %w", name, threads, err)
@@ -361,17 +369,23 @@ func Run(cfg Config) (Report, error) {
 
 // runParallel measures one (scheduler, workers, batch) data point: trials
 // timed runs through the registry instance, each verified against the
-// sequential reference output when asked.
-func runParallel(inst workload.Instance, trials int, verify bool, workers, batch int, reference workload.Output, policy core.Policy, factory func(trial int) sched.Concurrent) (Measurement, error) {
+// sequential reference output when asked. The bench trial runner honors
+// ctx: it stops between trials on cancellation and passes ctx.Done() into
+// the execution so an in-flight trial aborts at its next batch boundary.
+func runParallel(ctx context.Context, inst workload.Instance, trials int, verify bool, workers, batch int, reference workload.Output, policy core.Policy, factory func(trial int) sched.Concurrent) (Measurement, error) {
 	var times []float64
 	var extras []float64
 	var empties []float64
 	for trial := 0; trial < trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		start := time.Now()
 		out, cost, err := inst.RunConcurrent(factory(trial), workload.ConcOptions{
 			Workers:   workers,
 			BatchSize: batch,
 			Policy:    policy,
+			Cancel:    ctx.Done(),
 		})
 		if err != nil {
 			return Measurement{}, err

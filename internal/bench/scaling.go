@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -145,6 +146,12 @@ type ScalingReport struct {
 // registered workload it measures throughput for every (scheduler, workers,
 // batch size) combination against the sequential baseline.
 func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
+	return RunScalingContext(context.Background(), cfg)
+}
+
+// RunScalingContext is RunScaling with cancellation, checked between trials
+// and inside in-flight concurrent trials (see RunContext).
+func RunScalingContext(ctx context.Context, cfg ScalingConfig) (ScalingReport, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Class.Vertices <= 0 {
 		return ScalingReport{}, fmt.Errorf("bench: class has no vertices")
@@ -184,7 +191,7 @@ func RunScaling(cfg ScalingConfig) (ScalingReport, error) {
 				if batch < 1 {
 					return ScalingReport{}, fmt.Errorf("bench: invalid batch size %d", batch)
 				}
-				m, err := runParallel(inst, cfg.Trials, cfg.Verify, workers, batch, reference, variant.policy,
+				m, err := runParallel(ctx, inst, cfg.Trials, cfg.Verify, workers, batch, reference, variant.policy,
 					func(trial int) sched.Concurrent { return variant.factory(workers, trial) })
 				if err != nil {
 					return ScalingReport{}, fmt.Errorf("bench: %s at %d workers batch %d: %w", name, workers, batch, err)

@@ -33,6 +33,12 @@ type ConcurrentOptions struct {
 	// single-item delivery discipline exactly. Failed-delete re-inserts are
 	// flushed back in batches of the same size.
 	BatchSize int
+	// Cancel, when non-nil, aborts the execution as soon as the channel is
+	// closed (a context's Done channel fits directly): workers stop at their
+	// next batch boundary and RunConcurrent returns ErrCanceled. The
+	// instance's state is then partial and must be discarded. A nil channel
+	// disables cancellation at no cost to the hot loop.
+	Cancel <-chan struct{}
 }
 
 // WorkerResult reports per-worker counters from a concurrent execution.
@@ -137,16 +143,20 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 	s.InsertBatch(items)
 
 	states := make([]workerState, opts.Workers)
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(inst, st, s, policy, batch, int64(n), states, w)
+			runWorker(inst, st, s, policy, batch, int64(n), states, w, opts.Cancel, &canceled)
 		}(w)
 	}
 	wg.Wait()
 
+	if canceled.Load() {
+		return ConcurrentResult{}, fmt.Errorf("%w after %d of %d tasks", ErrCanceled, sumResolved(states), n)
+	}
 	if resolved := sumResolved(states); resolved != int64(n) {
 		return ConcurrentResult{}, fmt.Errorf("%w: %d tasks unresolved", ErrStuck, int64(n)-resolved)
 	}
@@ -166,7 +176,7 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 	return res, nil
 }
 
-func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, batch int, total int64, states []workerState, self int) {
+func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, batch int, total int64, states []workerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
 	ws := &states[self]
 	wr := &ws.WorkerResult
 	buf := make([]sched.Item, batch)
@@ -175,6 +185,18 @@ func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, 
 	var unpublished int64
 
 	for {
+		// One non-blocking cancellation check per batch episode; the reinsert
+		// buffer is always empty here, so publishing the local delta is all
+		// the cleanup an abort needs. A nil channel is never ready.
+		select {
+		case <-cancel:
+			if unpublished != 0 {
+				ws.resolved.Add(unpublished)
+			}
+			canceled.Store(true)
+			return
+		default:
+		}
 		n := s.ApproxPopBatch(buf)
 		if n == 0 {
 			wr.EmptyPolls++

@@ -189,6 +189,10 @@ var (
 	ErrNilScheduler = errors.New("core: scheduler must not be nil")
 	// ErrBadBatch indicates RunConcurrent was given a negative batch size.
 	ErrBadBatch = errors.New("core: batch size must not be negative")
+	// ErrCanceled indicates a concurrent execution was aborted through the
+	// options' Cancel channel before it completed. The problem's state is
+	// left partially updated and must be discarded.
+	ErrCanceled = errors.New("core: execution canceled")
 )
 
 // RandomLabels returns a uniformly random priority permutation for n tasks:

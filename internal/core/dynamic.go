@@ -110,6 +110,12 @@ type DynamicOptions struct {
 	// the same size. Zero selects DefaultBatchSize; 1 reproduces the
 	// single-item delivery discipline.
 	BatchSize int
+	// Cancel, when non-nil, aborts the execution as soon as the channel is
+	// closed (a context's Done channel fits directly): workers stop at their
+	// next batch boundary and RunDynamicConcurrent returns ErrCanceled. The
+	// problem's state is then partial and must be discarded. A nil channel
+	// disables cancellation at no cost to the hot loop.
+	Cancel <-chan struct{}
 }
 
 // ErrNilProblem indicates a nil DynamicProblem.
@@ -218,16 +224,20 @@ func RunDynamicConcurrent(p DynamicProblem, seeds []sched.Item, s sched.Concurre
 	seeded := int64(len(seeds))
 
 	states := make([]dynWorkerState, opts.Workers)
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runDynamicWorker(p, s, batch, seeded, states, w)
+			runDynamicWorker(p, s, batch, seeded, states, w, opts.Cancel, &canceled)
 		}(w)
 	}
 	wg.Wait()
 
+	if canceled.Load() {
+		return DynamicResult{}, fmt.Errorf("%w with %d items outstanding", ErrCanceled, seeded+sumBalances(states))
+	}
 	if remaining := seeded + sumBalances(states); remaining != 0 && !p.Done() {
 		return DynamicResult{}, fmt.Errorf("%w: %d items unresolved", ErrStuck, remaining)
 	}
@@ -240,7 +250,7 @@ func RunDynamicConcurrent(p DynamicProblem, seeds []sched.Item, s sched.Concurre
 	return res, nil
 }
 
-func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, seeded int64, states []dynWorkerState, self int) {
+func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, seeded int64, states []dynWorkerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
 	ws := &states[self]
 	buf := make([]sched.Item, batch)
 	em := &Emitter{Worker: self, items: make([]sched.Item, 0, 2*batch)}
@@ -272,6 +282,16 @@ func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, seeded in
 		if p.Done() {
 			flush()
 			return
+		}
+		// One non-blocking cancellation check per batch episode; flush
+		// publishes the worker's balance so the outstanding-item count stays
+		// meaningful for the abort report. A nil channel is never ready.
+		select {
+		case <-cancel:
+			flush()
+			canceled.Store(true)
+			return
+		default:
 		}
 		n := s.ApproxPopBatch(buf)
 		if n == 0 {

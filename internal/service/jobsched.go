@@ -1,0 +1,138 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/exactheap"
+	"relaxsched/internal/sched/kbounded"
+	"relaxsched/internal/sched/multiqueue"
+)
+
+// Job-queue scheduler families. The pending-job queue *is* an
+// internal/sched scheduler — the same implementations the paper studies at
+// task granularity, applied at job granularity. The manager serializes
+// queue operations under its own mutex, so the sequential-model
+// implementations apply directly.
+const (
+	// JobSchedExact is the exact binary heap: jobs dispatch in strict
+	// priority order (rank error always 0).
+	JobSchedExact = "exact"
+	// JobSchedMultiQueue is the MultiQueue model with k sub-queues: random
+	// two-choice dispatch with exponential rank-error tails.
+	JobSchedMultiQueue = "multiqueue"
+	// JobSchedKBounded is the deterministic k-bounded queue: every dispatch
+	// has rank at most k.
+	JobSchedKBounded = "kbounded"
+	// JobSchedFIFO is a priority-blind baseline: dispatch in submission
+	// order, unbounded rank error — what a conventional job service does,
+	// and the yardstick the relaxed schedulers are judged against.
+	JobSchedFIFO = "fifo"
+)
+
+// JobSchedNames lists the selectable job-queue schedulers.
+func JobSchedNames() []string {
+	return []string{JobSchedExact, JobSchedMultiQueue, JobSchedKBounded, JobSchedFIFO}
+}
+
+// NewJobScheduler constructs the named job-queue scheduler. k is the
+// relaxation factor for multiqueue (sub-queues) and kbounded (dispatch
+// bound); exact and fifo ignore it. capacity sizes the underlying
+// structures (the admission bound fits naturally).
+func NewJobScheduler(name string, k, capacity int, seed uint64) (sched.Scheduler, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("invalid job-scheduler relaxation %d: must be at least 1", k)
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	switch name {
+	case JobSchedExact:
+		return exactheap.New(capacity), nil
+	case JobSchedMultiQueue:
+		return multiqueue.NewSequential(k, capacity, rng.New(seed)), nil
+	case JobSchedKBounded:
+		return kbounded.New(k, capacity), nil
+	case JobSchedFIFO:
+		return newFIFOQueue(capacity), nil
+	default:
+		return nil, fmt.Errorf("unknown job scheduler %q (known: %v)", name, JobSchedNames())
+	}
+}
+
+// fifoQueue is the priority-blind baseline: dispatch order is submission
+// order. Its rank error against the priority order is unbounded, which is
+// exactly the point of measuring it.
+type fifoQueue struct {
+	items []sched.Item
+	head  int
+}
+
+var _ sched.Scheduler = (*fifoQueue)(nil)
+
+func newFIFOQueue(capacity int) *fifoQueue {
+	return &fifoQueue{items: make([]sched.Item, 0, capacity)}
+}
+
+func (q *fifoQueue) Insert(it sched.Item) { q.items = append(q.items, it) }
+
+// fifoCompactThreshold is the dead-prefix length beyond which ApproxGetMin
+// compacts the backing array. Without compaction a queue that never fully
+// drains — a service pinned at its admission bound is exactly that — grows
+// its dead prefix by one item per job forever.
+const fifoCompactThreshold = 64
+
+func (q *fifoQueue) ApproxGetMin() (sched.Item, bool) {
+	if q.head >= len(q.items) {
+		return sched.Item{}, false
+	}
+	it := q.items[q.head]
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head >= fifoCompactThreshold && q.head*2 >= len(q.items):
+		// Amortized O(1): at least half the array is dead before we pay
+		// one copy of the live half.
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return it, true
+}
+
+func (q *fifoQueue) Len() int    { return len(q.items) - q.head }
+func (q *fifoQueue) Empty() bool { return q.Len() == 0 }
+
+// rankTracker mirrors the live contents of the job queue as a sorted
+// multiset of items, so each dispatch's rank among pending jobs — the
+// paper's rank error, at job granularity — can be measured exactly. The
+// queue depth is bounded by admission control, so the O(depth) insertion
+// and removal are noise next to a CSR build.
+type rankTracker struct {
+	live []sched.Item // sorted by Item.Less
+}
+
+func (r *rankTracker) insert(it sched.Item) {
+	i := sort.Search(len(r.live), func(i int) bool { return it.Less(r.live[i]) })
+	r.live = append(r.live, sched.Item{})
+	copy(r.live[i+1:], r.live[i:])
+	r.live[i] = it
+}
+
+// remove deletes it from the multiset and returns its rank (1 = the true
+// minimum) among the items live just before removal.
+func (r *rankTracker) remove(it sched.Item) int {
+	i := sort.Search(len(r.live), func(i int) bool { return !r.live[i].Less(it) })
+	if i >= len(r.live) || r.live[i] != it {
+		return 0 // unknown item; the scheduler invented it (a bug elsewhere)
+	}
+	copy(r.live[i:], r.live[i+1:])
+	r.live = r.live[:len(r.live)-1]
+	return i + 1
+}
+
+func (r *rankTracker) len() int { return len(r.live) }

@@ -1,0 +1,312 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"relaxsched/internal/stats"
+)
+
+// LoadConfig configures RunLoad, the closed-loop load generator behind
+// cmd/relaxload and the service smoke tests: Clients goroutines each
+// submit a job, poll until it finishes, and immediately submit the next —
+// the classic closed-loop model, so offered load adapts to service
+// capacity instead of overrunning it.
+type LoadConfig struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients (default 4).
+	Clients int
+	// Jobs is the total number of jobs to push through (default 32).
+	Jobs int
+	// Workloads is the job mix, cycled per job (default all six registry
+	// workloads).
+	Workloads []string
+	// Mode is the execution mode every job runs in (default concurrent).
+	Mode string
+	// Threads is the per-job worker count for concurrent/exact modes
+	// (default 2).
+	Threads int
+	// Graph is the input every job asks for; one spec means the graph
+	// cache should serve every job after the first from memory.
+	Graph GraphSpec
+	// PrioritySpread makes job i carry priority (i*7919)%PrioritySpread,
+	// giving the job queue a non-trivial priority distribution to relax
+	// against (default 100; 1 makes every job equal-priority).
+	PrioritySpread int
+	// PollInterval is the status-poll period (default 2ms).
+	PollInterval time.Duration
+	// Verify asks each job to run its exactness oracle (default true —
+	// set by callers; the zero value disables verification).
+	Verify bool
+	// HTTPClient overrides the HTTP client (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 32
+	}
+	if len(c.Workloads) == 0 {
+		for _, info := range Workloads() {
+			c.Workloads = append(c.Workloads, info.Name)
+		}
+	}
+	if c.Mode == "" {
+		c.Mode = "concurrent"
+	}
+	if c.Threads == 0 {
+		c.Threads = 2
+	}
+	if c.Graph.N == 0 {
+		c.Graph = GraphSpec{Model: ModelGNP, N: 2000, Edges: 8000, Seed: 1}
+	}
+	if c.PrioritySpread == 0 {
+		c.PrioritySpread = 100
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	return c
+}
+
+// LoadResult is the outcome of one load run.
+type LoadResult struct {
+	// Jobs counts completed jobs; Failed counts jobs that ended failed or
+	// canceled; Rejected counts 429/503 submission rejections (retried).
+	Jobs     int
+	Failed   int
+	Rejected int
+	// Elapsed is the wall-clock span of the whole run.
+	Elapsed time.Duration
+	// Throughput is Jobs / Elapsed, in jobs per second.
+	Throughput float64
+	// Latency summarizes the client-observed submit→done latency in
+	// seconds.
+	Latency stats.Summary
+	// Metrics is the service's /metrics snapshot taken after the run,
+	// carrying the server-side view: rank error, queue latency, cache
+	// hit rate.
+	Metrics Metrics
+}
+
+// Format renders the result as the relaxload report.
+func (r LoadResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs: %d done, %d failed, %d rejected in %v (%.1f jobs/s)\n",
+		r.Jobs, r.Failed, r.Rejected, r.Elapsed.Round(time.Millisecond), r.Throughput)
+	fmt.Fprintf(&b, "client latency (ms): mean=%.2f p50=%.2f p95=%.2f max=%.2f\n",
+		r.Latency.Mean*1e3, r.Latency.P50*1e3, r.Latency.P95*1e3, r.Latency.Max*1e3)
+	m := r.Metrics
+	fmt.Fprintf(&b, "server queue  (ms): mean=%.2f p50=%.2f p99=%.2f max=%.2f\n",
+		m.QueueLatency.MeanMs, m.QueueLatency.P50Ms, m.QueueLatency.P99Ms, m.QueueLatency.MaxMs)
+	fmt.Fprintf(&b, "job sched: %s (k=%d)  rank error: mean=%.2f max=%d over %d dispatches\n",
+		m.JobSched, m.JobSchedK, m.RankError.Mean, m.RankError.Max, m.RankError.Count)
+	fmt.Fprintf(&b, "graph cache: %d/%d entries, %d hits, %d misses, %d evictions\n",
+		m.Cache.Entries, m.Cache.Capacity, m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions)
+	fmt.Fprintf(&b, "wasted work: %d (of %d pops, %d stale)\n",
+		m.Cost.Wasted, m.Cost.Pops, m.Cost.StalePops)
+	return b.String()
+}
+
+// RunLoad drives the service at cfg.BaseURL with a closed-loop client fleet
+// until cfg.Jobs jobs completed (done, failed or canceled). Submission
+// rejections (queue full) are counted and retried after a poll interval —
+// closed-loop clients back off rather than drop work.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return LoadResult{}, fmt.Errorf("loadgen: BaseURL is required")
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		res       LoadResult
+		firstErr  error
+	)
+	next := make(chan int, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lat, state, rejected, err := runOneJob(ctx, cfg, i)
+				mu.Lock()
+				res.Rejected += rejected
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				res.Jobs++
+				if state != StateDone {
+					res.Failed++
+				}
+				latencies = append(latencies, lat.Seconds())
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Jobs) / res.Elapsed.Seconds()
+	}
+	res.Latency = stats.Summarize(latencies)
+	// The server-side snapshot is half the report; an all-zero Metrics from
+	// a swallowed fetch error would be indistinguishable from a real
+	// measurement, so the failure is surfaced.
+	m, err := FetchMetrics(ctx, cfg.HTTPClient, cfg.BaseURL)
+	if err != nil {
+		return res, fmt.Errorf("loadgen: fetching final metrics: %w", err)
+	}
+	res.Metrics = m
+	return res, nil
+}
+
+// runOneJob submits job i (retrying admission rejections) and polls it to
+// completion, returning the client-observed latency and final state.
+func runOneJob(ctx context.Context, cfg LoadConfig, i int) (time.Duration, JobState, int, error) {
+	spec := defaultJobSpec()
+	spec.Workload = cfg.Workloads[i%len(cfg.Workloads)]
+	spec.Mode = cfg.Mode
+	spec.Threads = cfg.Threads
+	spec.Graph = cfg.Graph
+	spec.Priority = uint32((i * 7919) % cfg.PrioritySpread)
+	spec.Seed = uint64(i + 1)
+	spec.Verify = cfg.Verify
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, "", 0, err
+	}
+
+	rejected := 0
+	start := time.Now()
+	var id int64
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, "", rejected, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", rejected, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := cfg.HTTPClient.Do(req)
+		if err != nil {
+			return 0, "", rejected, err
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, "", rejected, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			rejected++
+			select {
+			case <-ctx.Done():
+				return 0, "", rejected, ctx.Err()
+			case <-time.After(cfg.PollInterval):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, "", rejected, fmt.Errorf("loadgen: submit returned %s: %s", resp.Status, payload)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return 0, "", rejected, fmt.Errorf("loadgen: decoding submit response: %w", err)
+		}
+		id = st.ID
+		break
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return 0, "", rejected, ctx.Err()
+		case <-time.After(cfg.PollInterval):
+		}
+		st, err := fetchStatus(ctx, cfg.HTTPClient, cfg.BaseURL, id)
+		if err != nil {
+			return 0, "", rejected, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return time.Since(start), st.State, rejected, nil
+		}
+	}
+}
+
+// fetchStatus GETs one job's status.
+func fetchStatus(ctx context.Context, client *http.Client, baseURL string, id int64) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/jobs/%d", baseURL, id), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		return JobStatus{}, fmt.Errorf("loadgen: status returned %s: %s", resp.Status, payload)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// FetchMetrics GETs and decodes the service's /metrics snapshot.
+func FetchMetrics(ctx context.Context, client *http.Client, baseURL string) (Metrics, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return Metrics{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		return Metrics{}, fmt.Errorf("loadgen: metrics returned %s: %s", resp.Status, payload)
+	}
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}

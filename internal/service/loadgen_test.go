@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunLoadClosedLoop drives a small closed-loop load through a real
+// manager over HTTP and checks the report end to end: all jobs done, cache
+// serving everything after the first build, rank error recorded.
+func TestRunLoadClosedLoop(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 2, JobSched: JobSchedMultiQueue, JobSchedK: 4})
+
+	res, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:   srv.URL,
+		Clients:   3,
+		Jobs:      12,
+		Workloads: []string{"mis", "pagerank", "sssp"},
+		Mode:      "concurrent",
+		Graph:     GraphSpec{Model: ModelGNP, N: 500, Edges: 2000, Seed: 1},
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 12 || res.Failed != 0 {
+		t.Fatalf("load result: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if res.Latency.N != 12 {
+		t.Fatalf("latency samples = %d", res.Latency.N)
+	}
+	if res.Metrics.Jobs.Done != 12 {
+		t.Fatalf("server saw %d done jobs", res.Metrics.Jobs.Done)
+	}
+	if res.Metrics.Cache.Misses != 1 || res.Metrics.Cache.Hits != 11 {
+		t.Fatalf("cache stats: %+v", res.Metrics.Cache)
+	}
+	if res.Metrics.RankError.Count != 12 {
+		t.Fatalf("rank error count: %+v", res.Metrics.RankError)
+	}
+
+	report := res.Format()
+	for _, want := range []string{"12 done", "rank error", "graph cache", "multiqueue"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestRunLoadBacksOffWhenQueueFull: a 1-worker, depth-1 service forces the
+// closed-loop clients through the 429 path; every job still completes.
+func TestRunLoadBacksOffWhenQueueFull(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	// Jobs big enough that the single worker stays busy for many poll
+	// intervals: with one slot queued behind it, the other clients must hit
+	// the 429 path.
+	res, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:   srv.URL,
+		Clients:   4,
+		Jobs:      8,
+		Workloads: []string{"mis"},
+		Mode:      "sequential",
+		Graph:     GraphSpec{Model: ModelGNP, N: 60_000, Edges: 240_000, Seed: 2},
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 8 || res.Failed != 0 {
+		t.Fatalf("load result: %+v", res)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("depth-1 queue under 4 clients never rejected a submission")
+	}
+}
+
+func TestRunLoadRequiresBaseURL(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+}

@@ -1,0 +1,429 @@
+// Package service is the long-running job-execution subsystem behind
+// cmd/relaxd: a job manager whose pending queue is an internal/sched
+// scheduler, a worker pool executing registry workloads through
+// workload.RunModeContext, a size-bounded graph cache keyed by canonical
+// generator spec, and admission control with graceful drain.
+//
+// The design point is the paper's thesis applied at macro scale: the
+// pending-job queue is a (possibly relaxed) priority scheduler — the same
+// multiqueue/kbounded/exact implementations the task executors use — so the
+// service trades a bounded amount of job-ordering error for queue
+// throughput, and *measures* that trade: every dispatch records the job's
+// rank among all pending jobs (the paper's rank error, at job granularity)
+// and its queue latency, surfaced in the /metrics snapshot.
+//
+// Concurrency model: all queue and bookkeeping state lives under one mutex;
+// workers block on a condition variable when the queue is empty. Queue
+// operations are microseconds against jobs that run for milliseconds to
+// seconds, so a single lock is nowhere near the bottleneck — the executors
+// behind the jobs are where the scalable concurrency lives.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"relaxsched/internal/core"
+	"relaxsched/internal/sched"
+	"relaxsched/internal/workload"
+)
+
+// Admission-control errors. The HTTP layer maps them to 429 and 503.
+var (
+	// ErrQueueFull rejects a submission because the pending queue is at its
+	// admission bound.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects a submission because the manager is shutting
+	// down.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrUnknownJob reports a status query for an id the manager has no
+	// record of (never assigned, or evicted by the finished-job retention
+	// bound).
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// Options configures a Manager. Zero values select the documented defaults.
+type Options struct {
+	// Workers is the number of goroutines executing jobs (default 2).
+	Workers int
+	// QueueDepth bounds the pending-job queue; submissions beyond it are
+	// rejected with ErrQueueFull (default 256).
+	QueueDepth int
+	// JobSched selects the pending-queue scheduler: exact, multiqueue,
+	// kbounded, fifo (default multiqueue).
+	JobSched string
+	// JobSchedK is the relaxation factor for multiqueue/kbounded
+	// (default 4).
+	JobSchedK int
+	// CacheCapacity bounds the graph cache's entry count; 0 selects the
+	// default 8, negative disables caching.
+	CacheCapacity int
+	// Seed drives the relaxed job schedulers' randomness.
+	Seed uint64
+	// RetainJobs bounds how many finished jobs keep their status queryable;
+	// the oldest finished jobs are forgotten first (default 65536).
+	RetainJobs int
+
+	// startPaused starts the manager without its worker pool, so tests can
+	// fill the queue deterministically (admission control, 429 paths).
+	// In-package only by design.
+	startPaused bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 256
+	}
+	if o.JobSched == "" {
+		o.JobSched = JobSchedMultiQueue
+	}
+	if o.JobSchedK == 0 {
+		o.JobSchedK = 4
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 8
+	}
+	if o.RetainJobs == 0 {
+		o.RetainJobs = 65536
+	}
+	return o
+}
+
+// Manager owns the job queue, the worker pool and the graph cache.
+type Manager struct {
+	opts Options
+
+	runCtx    context.Context // canceled on forced shutdown; aborts in-flight jobs
+	runCancel context.CancelFunc
+	cache     *graphCache
+	started   time.Time
+	wg        sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   sched.Scheduler
+	tracker rankTracker
+	jobs    map[int64]*job
+	// finished is the FIFO of finished job ids backing the retention bound.
+	finished  []int64
+	nextID    int64
+	pending   int
+	running   int
+	counts    JobCounts
+	cost      CostTotals
+	rankCount int64
+	rankSum   float64
+	rankMax   int64
+	queueLat  latencyRing
+	execLat   latencyRing
+	closed    bool // no new submissions; workers drain the queue
+	aborted   bool // forced: workers stop popping
+}
+
+// NewManager validates the options, builds the job scheduler and starts the
+// worker pool. Callers must Close the manager to stop the workers.
+func NewManager(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("service: worker count must be at least 1, got %d", opts.Workers)
+	}
+	if opts.QueueDepth < 1 {
+		return nil, fmt.Errorf("service: queue depth must be at least 1, got %d", opts.QueueDepth)
+	}
+	queue, err := NewJobScheduler(opts.JobSched, opts.JobSchedK, opts.QueueDepth, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:      opts,
+		runCtx:    ctx,
+		runCancel: cancel,
+		cache:     newGraphCache(opts.CacheCapacity),
+		started:   time.Now(),
+		queue:     queue,
+		jobs:      make(map[int64]*job),
+		nextID:    1,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if opts.startPaused {
+		return m, nil
+	}
+	for w := 0; w < opts.Workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.worker()
+		}()
+	}
+	return m, nil
+}
+
+// Submit validates a job spec and enqueues it, returning the queued job's
+// status (including its assigned id). Admission control rejects with
+// ErrQueueFull when the pending queue is at its bound and ErrDraining after
+// Close has begun; both leave no trace beyond the rejection counter.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		m.counts.Rejected++
+		return JobStatus{}, ErrDraining
+	}
+	if m.pending >= m.opts.QueueDepth {
+		m.counts.Rejected++
+		return JobStatus{}, ErrQueueFull
+	}
+	if m.nextID > math.MaxInt32 {
+		// Job ids ride in sched.Item.Task (int32). Two billion jobs into a
+		// process's life, refusing is safer than wrapping.
+		m.counts.Rejected++
+		return JobStatus{}, fmt.Errorf("service: job id space exhausted")
+	}
+	j := &job{
+		id:        m.nextID,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	m.nextID++
+	m.jobs[j.id] = j
+	it := sched.Item{Task: int32(j.id), Priority: spec.Priority}
+	m.queue.Insert(it)
+	m.tracker.insert(it)
+	m.pending++
+	m.counts.Submitted++
+	m.cond.Signal()
+	return j.status(), nil
+}
+
+// Status returns a job's current status by id.
+func (m *Manager) Status(id int64) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: id %d", ErrUnknownJob, id)
+	}
+	return j.status(), nil
+}
+
+// Metrics returns a consistent snapshot of the service counters.
+func (m *Manager) Metrics() Metrics {
+	cache := m.cache.Stats()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := m.counts
+	counts.Queued = int64(m.pending)
+	counts.Running = int64(m.running)
+	re := RankErrorStats{Count: m.rankCount, Max: m.rankMax}
+	if m.rankCount > 0 {
+		re.Mean = m.rankSum / float64(m.rankCount)
+	}
+	return Metrics{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		JobSched:      m.opts.JobSched,
+		JobSchedK:     m.opts.JobSchedK,
+		Workers:       m.opts.Workers,
+		QueueCapacity: m.opts.QueueDepth,
+		Draining:      m.closed,
+		Jobs:          counts,
+		Cache:         cache,
+		Cost:          m.cost,
+		RankError:     re,
+		QueueLatency:  m.queueLat.summary(),
+		ExecLatency:   m.execLat.summary(),
+	}
+}
+
+// BeginDrain stops admission without waiting: from this point submissions
+// return ErrDraining and the workers run the queue dry. It is Close's
+// first action; it is exported for callers that want to stop admission
+// some time before they are ready to block in Close.
+func (m *Manager) BeginDrain() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Close drains the manager: new submissions are rejected immediately (as
+// with BeginDrain), and the workers run the already-queued jobs to
+// completion. If ctx expires first, the drain turns forced — in-flight
+// concurrent and relaxed executions abort (workload.RunModeContext; a
+// sequential-mode job cannot be preempted and finishes on its own),
+// still-queued jobs flip to StateCanceled, and Close returns ctx's error.
+// Close is idempotent; every call waits for the workers to exit.
+func (m *Manager) Close(ctx context.Context) error {
+	m.BeginDrain()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workersDone)
+	}()
+
+	var err error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		m.mu.Lock()
+		m.aborted = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		m.runCancel() // aborts in-flight RunModeContext executions
+		<-workersDone
+	}
+	m.runCancel()
+
+	// Whatever is still queued (forced drain only) will never run.
+	m.mu.Lock()
+	for m.pending > 0 {
+		it, ok := m.queue.ApproxGetMin()
+		if !ok {
+			break
+		}
+		m.tracker.remove(it)
+		m.pending--
+		if j := m.jobs[int64(it.Task)]; j != nil && j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = context.Canceled
+			m.counts.Canceled++
+			m.retainLocked(j.id)
+		}
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// worker is one pool goroutine: pop → execute → record, until the queue is
+// drained after Close (or immediately on a forced abort).
+func (m *Manager) worker() {
+	for {
+		m.mu.Lock()
+		for !m.aborted && !m.closed && m.pending == 0 {
+			m.cond.Wait()
+		}
+		if m.aborted || m.pending == 0 {
+			// aborted, or closed with nothing left to drain.
+			m.mu.Unlock()
+			return
+		}
+		it, ok := m.queue.ApproxGetMin()
+		if !ok {
+			// The scheduler and the pending count disagree — a scheduler
+			// bug; give other workers a chance rather than spinning.
+			m.mu.Unlock()
+			return
+		}
+		rank := m.tracker.remove(it)
+		m.pending--
+		j := m.jobs[int64(it.Task)]
+		j.state = StateRunning
+		j.queueRank = rank
+		j.queueTime = time.Since(j.submitted)
+		m.running++
+		m.rankCount++
+		m.rankSum += float64(rank - 1)
+		if int64(rank-1) > m.rankMax {
+			m.rankMax = int64(rank - 1)
+		}
+		m.queueLat.add(j.queueTime.Seconds())
+		m.mu.Unlock()
+
+		m.execute(j)
+	}
+}
+
+// execute runs one job end to end: graph (via the cache), execution through
+// the registry's context-aware mode dispatch, optional verification, then
+// result recording.
+func (m *Manager) execute(j *job) {
+	g, hit, err := m.cache.Get(j.spec.Graph)
+	if err != nil {
+		m.finish(j, nil, fmt.Errorf("building graph: %w", err), 0)
+		return
+	}
+	d, err := workload.Lookup(j.spec.Workload)
+	if err != nil {
+		m.finish(j, nil, err, 0)
+		return
+	}
+	cfg, err := j.spec.runConfig()
+	if err != nil {
+		m.finish(j, nil, err, 0)
+		return
+	}
+	res, err := d.RunModeContext(m.runCtx, g, cfg, j.spec.params())
+	if err != nil {
+		m.finish(j, nil, err, 0)
+		return
+	}
+	verified := false
+	if j.spec.Verify {
+		if err := res.Instance.Verify(res.Output); err != nil {
+			m.finish(j, nil, fmt.Errorf("verification failed: %w", err), 0)
+			return
+		}
+		verified = true
+	}
+	m.finish(j, &JobResult{
+		Summary:         res.Output.Summary(),
+		Verified:        verified,
+		Pops:            res.Cost.Pops,
+		StalePops:       res.Cost.StalePops,
+		Wasted:          res.Cost.Wasted,
+		WastedWorkLabel: d.WastedWork,
+		ExecNanos:       res.Elapsed.Nanoseconds(),
+		GraphCacheHit:   hit,
+	}, nil, res.Elapsed)
+}
+
+// finish records a job's outcome and applies the finished-job retention
+// bound.
+func (m *Manager) finish(j *job, result *JobResult, err error, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		m.counts.Done++
+		m.cost.Pops += result.Pops
+		m.cost.StalePops += result.StalePops
+		m.cost.Wasted += result.Wasted
+		m.execLat.add(elapsed.Seconds())
+	case errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.err = err
+		m.counts.Canceled++
+	default:
+		j.state = StateFailed
+		j.err = err
+		m.counts.Failed++
+	}
+	m.retainLocked(j.id)
+}
+
+// retainLocked appends a finished job to the retention FIFO and forgets the
+// oldest finished jobs beyond the bound. Callers hold m.mu.
+func (m *Manager) retainLocked(id int64) {
+	m.finished = append(m.finished, id)
+	for len(m.finished) > m.opts.RetainJobs {
+		evict := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.jobs, evict)
+	}
+}

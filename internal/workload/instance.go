@@ -62,6 +62,7 @@ func (si *staticInstance) RunConcurrent(s sched.Concurrent, opts ConcOptions) (O
 		Workers:       opts.Workers,
 		BlockedPolicy: policy,
 		BatchSize:     opts.BatchSize,
+		Cancel:        opts.Cancel,
 	})
 	if err != nil {
 		return nil, Cost{}, err
@@ -82,7 +83,7 @@ type dynamicInstance struct {
 	numTasks   int
 	sequential func() Output
 	relaxed    func(s sched.Scheduler) (Output, Cost, error)
-	concurrent func(s sched.Concurrent, workers, batch int) (Output, Cost, error)
+	concurrent func(s sched.Concurrent, opts core.DynamicOptions) (Output, Cost, error)
 	verify     func(Output) error
 	// matches overrides the exactness fingerprint comparison for workloads
 	// with approximate (tolerance-bounded) outputs; nil selects fingerprint
@@ -100,7 +101,11 @@ func (di *dynamicInstance) RunRelaxed(s sched.Scheduler) (Output, Cost, error) {
 }
 
 func (di *dynamicInstance) RunConcurrent(s sched.Concurrent, opts ConcOptions) (Output, Cost, error) {
-	return di.concurrent(s, opts.Workers, opts.BatchSize)
+	return di.concurrent(s, core.DynamicOptions{
+		Workers:   opts.Workers,
+		BatchSize: opts.BatchSize,
+		Cancel:    opts.Cancel,
+	})
 }
 
 func (di *dynamicInstance) Verify(out Output) error { return di.verify(out) }

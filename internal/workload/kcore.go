@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relaxsched/internal/algos/kcore"
+	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/sched"
 )
@@ -50,8 +51,8 @@ func newKCore(g *graph.Graph, p Params) (Instance, error) {
 			}
 			return kcoreOutput(cores), kcoreCost(st), nil
 		},
-		concurrent: func(s sched.Concurrent, workers, batch int) (Output, Cost, error) {
-			cores, st, err := kcore.RunConcurrent(g, s, workers, batch)
+		concurrent: func(s sched.Concurrent, opts core.DynamicOptions) (Output, Cost, error) {
+			cores, st, err := kcore.RunConcurrent(g, s, opts)
 			if err != nil {
 				return nil, Cost{}, err
 			}

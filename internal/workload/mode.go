@@ -7,6 +7,7 @@ package workload
 // and output lines.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -139,6 +140,27 @@ type RunResult struct {
 // (sequential-model or concurrent), or the exact scheduler matching the
 // workload's executor family.
 func (d *Descriptor) RunMode(g *graph.Graph, cfg RunConfig, p Params) (RunResult, error) {
+	return d.RunModeContext(context.Background(), g, cfg, p)
+}
+
+// RunModeContext is RunMode with cancellation: when ctx is canceled, the
+// call returns an error wrapping core.ErrCanceled and the partial state is
+// discarded. How promptly a mode reacts differs:
+//
+//   - ModeConcurrent and ModeExact abort at the next batch boundary
+//     (core's Cancel channel);
+//   - ModeRelaxed winds down at the next scheduler pop (the scheduler is
+//     wrapped to report empty once ctx is done);
+//   - ModeSequential runs a plain algorithm loop on the caller's goroutine
+//     — Go cannot preempt it, so it is checked only before the run starts
+//     and a cancellation landing mid-run takes effect when it finishes.
+//
+// No mode holds goroutines a caller could orphan. relaxd uses this entry
+// point to abort in-flight jobs on forced shutdown.
+func (d *Descriptor) RunModeContext(ctx context.Context, g *graph.Graph, cfg RunConfig, p Params) (RunResult, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return RunResult{}, fmt.Errorf("workload: %w: %w", core.ErrCanceled, cerr)
+	}
 	if cfg.Batch < 0 {
 		return RunResult{}, fmt.Errorf("invalid batch size %d: -batch must be non-negative (0 = executor default)", cfg.Batch)
 	}
@@ -161,7 +183,10 @@ func (d *Descriptor) RunMode(g *graph.Graph, cfg RunConfig, p Params) (RunResult
 		if cfg.K < 1 {
 			return RunResult{}, fmt.Errorf("invalid relaxation factor %d: -k must be at least 1", cfg.K)
 		}
-		s := multiqueue.NewSequential(cfg.K, n, rng.New(p.Seed^schedSeedSalt))
+		var s sched.Scheduler = multiqueue.NewSequential(cfg.K, n, rng.New(p.Seed^schedSeedSalt))
+		if done := ctx.Done(); done != nil {
+			s = cancelableScheduler{Scheduler: s, done: done}
+		}
 		res.Output, res.Cost, err = inst.RunRelaxed(s)
 	case ModeConcurrent:
 		if cfg.Threads < 1 {
@@ -172,6 +197,7 @@ func (d *Descriptor) RunMode(g *graph.Graph, cfg RunConfig, p Params) (RunResult
 			Workers:   cfg.Threads,
 			BatchSize: cfg.Batch,
 			Policy:    core.Reinsert,
+			Cancel:    ctx.Done(),
 		})
 	case ModeExact:
 		if cfg.Threads < 1 {
@@ -193,13 +219,39 @@ func (d *Descriptor) RunMode(g *graph.Graph, cfg RunConfig, p Params) (RunResult
 			Workers:   cfg.Threads,
 			BatchSize: cfg.Batch,
 			Policy:    policy,
+			Cancel:    ctx.Done(),
 		})
 	default:
 		return RunResult{}, fmt.Errorf("unknown mode %q", cfg.Mode)
+	}
+	// A cancellation that landed mid-run dominates whatever the run itself
+	// reported: a wound-down relaxed execution surfaces as ErrStuck (static)
+	// or even a clean-but-partial result (dynamic), and all of it must be
+	// discarded.
+	if cerr := ctx.Err(); cerr != nil {
+		return RunResult{}, fmt.Errorf("workload: %w: %w", core.ErrCanceled, cerr)
 	}
 	if err != nil {
 		return RunResult{}, err
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// cancelableScheduler makes a sequential-model execution abortable: once
+// the context's done channel closes, ApproxGetMin reports empty and the
+// executor's run loop winds down at its next pop instead of draining the
+// remaining items.
+type cancelableScheduler struct {
+	sched.Scheduler
+	done <-chan struct{}
+}
+
+func (c cancelableScheduler) ApproxGetMin() (sched.Item, bool) {
+	select {
+	case <-c.done:
+		return sched.Item{}, false
+	default:
+		return c.Scheduler.ApproxGetMin()
+	}
 }

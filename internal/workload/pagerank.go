@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relaxsched/internal/algos/pagerank"
+	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/sched"
 )
@@ -61,8 +62,8 @@ func newPageRank(g *graph.Graph, p Params) (Instance, error) {
 			}
 			return pagerankOutput(ranks), prCost(st), nil
 		},
-		concurrent: func(s sched.Concurrent, workers, batch int) (Output, Cost, error) {
-			ranks, st, err := pagerank.RunConcurrent(g, s, workers, batch, opts)
+		concurrent: func(s sched.Concurrent, dopts core.DynamicOptions) (Output, Cost, error) {
+			ranks, st, err := pagerank.RunConcurrent(g, s, dopts, opts)
 			if err != nil {
 				return nil, Cost{}, err
 			}

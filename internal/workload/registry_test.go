@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"relaxsched/internal/graph"
+)
+
+// unregisterAfter removes a test-only registration when the test finishes,
+// so later tests still see exactly the real workload set. Tests are
+// in-package, so they may reach under the mutex; production code has no
+// unregister path on purpose.
+func unregisterAfter(t *testing.T, name string) {
+	t.Cleanup(func() {
+		registryMu.Lock()
+		delete(registry, name)
+		registryMu.Unlock()
+	})
+}
+
+// TestRegistryConcurrentUse hammers Register, Lookup, Names and All from
+// many goroutines at once. Run under -race (the workload package is part of
+// `make race`) this checks the registry mutex: before it existed, a service
+// handler calling Lookup while another workload registered was a data race
+// on the map.
+func TestRegistryConcurrentUse(t *testing.T) {
+	newInst := func(g *graph.Graph, p Params) (Instance, error) { return nil, nil }
+	const writers, readers, lookups = 8, 8, 200
+	for w := 0; w < writers; w++ {
+		unregisterAfter(t, fmt.Sprintf("race-dummy-%d", w))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			Register(Descriptor{
+				Name:       fmt.Sprintf("race-dummy-%d", w),
+				Kind:       Static,
+				Brief:      "registry race test dummy",
+				Input:      "none",
+				WastedWork: "none",
+				New:        newInst,
+			})
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < lookups; i++ {
+				if _, err := Lookup("mis"); err != nil {
+					t.Errorf("Lookup(mis): %v", err)
+					return
+				}
+				names := Names()
+				for j := 1; j < len(names); j++ {
+					if names[j-1] >= names[j] {
+						t.Errorf("Names() not sorted: %v", names)
+						return
+					}
+				}
+				// Names and All are separate snapshots (writers may land in
+				// between), so check All's own invariant: sorted, no gaps.
+				ds := All()
+				for j := 1; j < len(ds); j++ {
+					if ds[j-1].Name >= ds[j].Name {
+						t.Errorf("All() not sorted by name")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every concurrent registration must have landed exactly once, and the
+	// listing order must be deterministic (sorted) regardless of the
+	// interleaving above.
+	names := Names()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for w := 0; w < writers; w++ {
+		if !seen[fmt.Sprintf("race-dummy-%d", w)] {
+			t.Fatalf("registration race-dummy-%d lost; registry holds %v", w, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("final Names() not sorted: %v", names)
+		}
+	}
+}
+
+// TestRegisterDuplicateUnderConcurrency: exactly one of two racing
+// registrations of the same name wins; the other panics. The panic must not
+// leave the mutex held (a deferred unlock), so the registry stays usable.
+func TestRegisterDuplicateUnderConcurrency(t *testing.T) {
+	newInst := func(g *graph.Graph, p Params) (Instance, error) { return nil, nil }
+	d := Descriptor{Name: "race-duplicate", Kind: Static, Brief: "b", Input: "i", WastedWork: "w", New: newInst}
+	unregisterAfter(t, d.Name)
+
+	var panics, successes int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				defer mu.Unlock()
+				if recover() != nil {
+					panics++
+				} else {
+					successes++
+				}
+			}()
+			Register(d)
+		}()
+	}
+	wg.Wait()
+	if successes != 1 || panics != 3 {
+		t.Fatalf("got %d successes and %d panics, want exactly 1 registration to win", successes, panics)
+	}
+	// The registry must still be fully usable after the panics.
+	if _, err := Lookup("race-duplicate"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("mis"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relaxsched/internal/algos/sssp"
+	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
 	"relaxsched/internal/sched"
 )
@@ -85,8 +86,8 @@ func newSSSP(g *graph.Graph, p Params) (Instance, error) {
 			}
 			return ssspOutput(dist), ssspCost(st), nil
 		},
-		concurrent: func(s sched.Concurrent, workers, batch int) (Output, Cost, error) {
-			dist, st, err := sssp.RunConcurrentDelta(g, w, src, s, workers, delta, batch)
+		concurrent: func(s sched.Concurrent, opts core.DynamicOptions) (Output, Cost, error) {
+			dist, st, err := sssp.RunConcurrentDelta(g, w, src, s, delta, opts)
 			if err != nil {
 				return nil, Cost{}, err
 			}

@@ -27,6 +27,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"relaxsched/internal/core"
 	"relaxsched/internal/graph"
@@ -106,6 +107,10 @@ type ConcOptions struct {
 	// blocked (0 selects core.Reinsert, the relaxed-scheduler default).
 	// Dynamic workloads ignore it.
 	Policy core.Policy
+	// Cancel, when non-nil, aborts the execution when closed (a context's
+	// Done channel fits directly); the run then returns core.ErrCanceled.
+	// Long-running services use it to abort in-flight jobs on shutdown.
+	Cancel <-chan struct{}
 }
 
 // Output is the result of one execution of a workload.
@@ -165,18 +170,23 @@ type Descriptor struct {
 	New func(g *graph.Graph, p Params) (Instance, error)
 }
 
-var registry = make(map[string]*Descriptor)
+// The registry is guarded by a mutex: registration normally happens from
+// this package's init functions, but long-running services (relaxd) call
+// Lookup/Names/All from request handlers concurrently, and nothing stops a
+// future workload from registering lazily from a non-init path.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]*Descriptor)
+)
 
 // Register adds a workload descriptor to the registry. It panics on a
 // duplicate or empty name or a descriptor missing its constructors —
 // registration happens from init functions in this package, so a bad
-// descriptor is a programming error, not an input error.
+// descriptor is a programming error, not an input error. Register is safe
+// for concurrent use with itself and with Lookup/Names/All.
 func Register(d Descriptor) {
 	if d.Name == "" {
 		panic("workload: Register called with an empty name")
-	}
-	if _, dup := registry[d.Name]; dup {
-		panic(fmt.Sprintf("workload: Register called twice for %q", d.Name))
 	}
 	if d.New == nil {
 		panic(fmt.Sprintf("workload: descriptor %q is missing its New constructor", d.Name))
@@ -184,34 +194,49 @@ func Register(d Descriptor) {
 	if d.Kind != Static && d.Kind != Dynamic {
 		panic(fmt.Sprintf("workload: descriptor %q has invalid kind %d", d.Name, d.Kind))
 	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[d.Name]; dup {
+		panic(fmt.Sprintf("workload: Register called twice for %q", d.Name))
+	}
 	stored := d
 	registry[d.Name] = &stored
 }
 
 // Lookup returns the named workload's descriptor.
 func Lookup(name string) (*Descriptor, error) {
+	registryMu.RLock()
 	d, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q (known: %v)", name, Names())
 	}
 	return d, nil
 }
 
-// Names returns the registered workload names, sorted.
+// Names returns the registered workload names, in sorted (deterministic)
+// order regardless of registration order.
 func Names() []string {
+	registryMu.RLock()
 	names := make([]string, 0, len(registry))
 	for name := range registry {
 		names = append(names, name)
 	}
+	registryMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // All returns the registered descriptors, sorted by name.
 func All() []*Descriptor {
-	all := make([]*Descriptor, 0, len(registry))
-	for _, name := range Names() {
-		all = append(all, registry[name])
+	names := Names()
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	all := make([]*Descriptor, 0, len(names))
+	for _, name := range names {
+		if d, ok := registry[name]; ok {
+			all = append(all, d)
+		}
 	}
 	return all
 }
