@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench sweep bench-smoke fuzz-smoke serve serve-smoke fmt fmt-check vet lint doc check
+.PHONY: build test race bench sweep bench-smoke fuzz-smoke serve serve-smoke serve-cluster serve-cluster-smoke fmt fmt-check vet lint doc check
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,9 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/sched/... \
 		./internal/algos/sssp/... ./internal/algos/kcore/... \
 		./internal/algos/pagerank/... ./internal/workload/... \
+		./internal/api/... ./internal/ranktrack/... \
 		./internal/service/... ./cmd/relaxd/... \
+		./internal/gateway/... ./cmd/relaxgw/... \
 		./internal/integration/...
 
 # Repository-level benchmarks (one per table/figure of the paper).
@@ -68,6 +70,29 @@ serve:
 # a clean drain (exit 0).
 serve-smoke:
 	RELAXSCHED_SMOKE_SERVE=1 $(GO) test -run '^TestServeSmokeBinary$$' -v ./cmd/relaxd/
+
+# Run a 2-backend cluster locally: two relaxd nodes on 8081/8082 plus the
+# relaxgw gateway on 8080. Submit through the gateway exactly as to a
+# single node, e.g.
+#   curl -s localhost:8080/v1/jobs -d '{"workload":"mis","mode":"concurrent",
+#     "graph":{"n":100000,"edges":1000000,"seed":7}}'
+# GET /v1/metrics on 8080 for the cluster aggregate (global rank error,
+# per-backend rows). Ctrl-C stops all three.
+serve-cluster:
+	@trap 'kill 0' INT TERM; \
+	$(GO) run ./cmd/relaxd -addr localhost:8081 & \
+	$(GO) run ./cmd/relaxd -addr localhost:8082 & \
+	sleep 1; \
+	$(GO) run ./cmd/relaxgw -addr localhost:8080 \
+		-backends http://localhost:8081,http://localhost:8082 & \
+	wait
+
+# Cluster smoke, as run by CI: build relaxd and relaxgw, boot two backends
+# and the gateway, submit jobs through the gateway, assert graph-affinity
+# routing via the owning node's cache hit and the cluster metrics
+# aggregate, then SIGTERM all three and require clean exits.
+serve-cluster-smoke:
+	RELAXSCHED_SMOKE_CLUSTER=1 $(GO) test -run '^TestClusterSmokeBinary$$' -v ./cmd/relaxgw/
 
 # 10-second fuzz of the edge-list parser, as run by CI.
 fuzz-smoke:

@@ -1,0 +1,106 @@
+// Command relaxgw is the cluster gateway for relaxd: it fronts N
+// backends behind the same versioned HTTP API as a single node, routing
+// each job to the backend owning its graph key (consistent hashing, so
+// repeated jobs on one generator spec keep hitting the node whose graph
+// cache already holds the build), failing submissions over past
+// unreachable backends, and fanning status polls to the owning node.
+//
+// GET /v1/metrics serves the cluster-wide aggregate — including the
+// gateway-measured *global* rank error: each dispatched job's rank among
+// every job pending anywhere in the cluster, the paper's rank-error
+// statistic lifted from one relaxed queue to the whole fleet — plus a
+// per-backend breakdown.
+//
+// SIGINT/SIGTERM drain gracefully: admission stops (503), the drain fans
+// out to every backend, and the HTTP server shuts down after a short
+// grace period for in-flight polls.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"relaxsched/internal/gateway"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relaxgw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("relaxgw", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+		backends = fs.String("backends", "", "comma-separated relaxd base URLs (required), e.g. http://localhost:8081,http://localhost:8082")
+		replicas = fs.Int("replicas", 128, "virtual ring points per backend")
+		health   = fs.Duration("health-interval", 2*time.Second, "backend health-check period")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "grace period for the backend drain fan-out on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated relaxd base URLs)")
+	}
+	gw, err := gateway.New(gateway.Options{
+		Backends:       urls,
+		Replicas:       *replicas,
+		HealthInterval: *health,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "relaxgw: listening on http://%s (backends=%d replicas=%d health-interval=%v)\n",
+		ln.Addr(), len(urls), *replicas, *health)
+
+	srv := &http.Server{Handler: gw.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "relaxgw: shutdown signal received, draining backends (timeout %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := gw.Drain(drainCtx); err != nil {
+		fmt.Fprintf(out, "relaxgw: drain fan-out: %v\n", err)
+	} else {
+		fmt.Fprintln(out, "relaxgw: backends draining")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		fmt.Fprintf(out, "relaxgw: http shutdown: %v\n", err)
+	}
+	return nil
+}

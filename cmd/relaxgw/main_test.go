@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"relaxsched/internal/service"
+)
+
+// syncBuffer is a bytes.Buffer safe for the writer goroutine (run) and the
+// reader (the test) to share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// startInProcessBackend runs a real service.Manager behind httptest so the
+// gateway under test talks to genuine relaxd HTTP surfaces.
+func startInProcessBackend(t *testing.T) string {
+	t.Helper()
+	mgr, err := service.NewManager(service.Options{Workers: 1, QueueDepth: 64, JobSched: service.JobSchedExact, CacheCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	})
+	return srv.URL
+}
+
+// TestRunServesAndDrains boots the gateway on an ephemeral port over two
+// in-process backends, performs a submit/poll round trip through it, then
+// cancels the context (the in-process SIGTERM) and expects the drain
+// fan-out to reach the backends.
+func TestRunServesAndDrains(t *testing.T) {
+	backends := startInProcessBackend(t) + "," + startInProcessBackend(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-backends", backends}, &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line in output:\n%s", out.String())
+	}
+
+	body := `{"workload":"mis","mode":"sequential","graph":{"n":500,"edges":2000,"seed":3}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    int64  `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job ended %q", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job stuck in %q", st.State)
+	}
+
+	// The cluster metrics route serves the per-backend breakdown.
+	mresp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm struct {
+		HealthyBackends int `json:"healthy_backends"`
+		Backends        []struct {
+			URL string `json:"url"`
+		} `json:"backends"`
+		RankError struct {
+			Count int64 `json:"count"`
+		} `json:"rank_error"`
+	}
+	err = json.NewDecoder(mresp.Body).Decode(&cm)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.HealthyBackends != 2 || len(cm.Backends) != 2 {
+		t.Fatalf("cluster metrics: healthy=%d backends=%d", cm.HealthyBackends, len(cm.Backends))
+	}
+	if cm.RankError.Count != 1 {
+		t.Fatalf("global rank-error count = %d, want 1", cm.RankError.Count)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain returned %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("gateway did not shut down\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "backends draining") {
+		t.Fatalf("no drain fan-out line:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	cases := map[string][]string{
+		"missing backends": {"-addr", "127.0.0.1:0"},
+		"empty backends":   {"-backends", " , "},
+		"bad flag":         {"-no-such-flag"},
+		"bad addr":         {"-addr", "not-an-address:-1", "-backends", "http://localhost:9"},
+		"too many backends": append([]string{"-backends"}, func() string {
+			urls := make([]string, 300)
+			for i := range urls {
+				urls[i] = fmt.Sprintf("http://node-%d:8080", i)
+			}
+			return strings.Join(urls, ",")
+		}()),
+	}
+	for name, args := range cases {
+		if err := run(ctx, args, &out); err == nil {
+			t.Errorf("%s: accepted %v", name, args)
+		}
+	}
+}

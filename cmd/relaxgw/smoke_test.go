@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// daemon is one child process under the smoke test: a relaxd backend or
+// the gateway.
+type daemon struct {
+	name   string
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+func startDaemon(t *testing.T, name, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{name: name, cmd: cmd, stderr: &stderr}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		if m := listenRE.FindStringSubmatch(scanner.Text()); m != nil {
+			d.base = m[1]
+			break
+		}
+	}
+	if d.base == "" {
+		t.Fatalf("%s printed no listen line; stderr: %s", name, stderr.String())
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		for scanner.Scan() {
+		}
+	}()
+	return d
+}
+
+// terminate SIGTERMs the daemon and requires a clean exit.
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- d.cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("%s exited non-zero after SIGTERM: %v\nstderr: %s", d.name, err, d.stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s did not exit after SIGTERM", d.name)
+	}
+}
+
+// TestClusterSmokeBinary is the cluster smoke CI runs via
+// `make serve-cluster-smoke` (gated behind RELAXSCHED_SMOKE_CLUSTER=1
+// because it builds and execs the real binaries): build relaxd and
+// relaxgw, start two backends and the gateway fronting them, submit jobs
+// through the gateway, assert graph-affinity routing by the owning node's
+// cache hit, check the cluster metrics aggregate, then SIGTERM all three
+// processes and require clean exits.
+func TestClusterSmokeBinary(t *testing.T) {
+	if os.Getenv("RELAXSCHED_SMOKE_CLUSTER") == "" {
+		t.Skip("set RELAXSCHED_SMOKE_CLUSTER=1 to run the cluster binary smoke test")
+	}
+
+	dir := t.TempDir()
+	relaxd := filepath.Join(dir, "relaxd")
+	relaxgw := filepath.Join(dir, "relaxgw")
+	for bin, pkg := range map[string]string{relaxd: "relaxsched/cmd/relaxd", relaxgw: "relaxsched/cmd/relaxgw"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	b1 := startDaemon(t, "relaxd-1", relaxd, "-addr", "127.0.0.1:0", "-workers", "2", "-jobsched", "multiqueue", "-jobsched-k", "4")
+	b2 := startDaemon(t, "relaxd-2", relaxd, "-addr", "127.0.0.1:0", "-workers", "2", "-jobsched", "multiqueue", "-jobsched-k", "4")
+	gw := startDaemon(t, "relaxgw", relaxgw, "-addr", "127.0.0.1:0", "-backends", b1.base+","+b2.base)
+
+	submit := func(body string) int64 {
+		t.Helper()
+		resp, err := http.Post(gw.base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %s %s", body, resp.Status, payload)
+		}
+		var st struct {
+			ID int64 `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.ID
+	}
+	waitDone := func(id int64) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", gw.base, id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch st["state"] {
+			case "done":
+				return st
+			case "failed", "canceled":
+				t.Fatalf("job %d ended %v: %v", id, st["state"], st["error"])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("job %d did not finish", id)
+		return nil
+	}
+
+	misJob := `{"workload":"mis","mode":"concurrent","threads":2,"graph":{"n":20000,"edges":80000,"seed":7},"priority":5}`
+	prJob := `{"workload":"pagerank","mode":"concurrent","threads":2,"tolerance":1e-7,"graph":{"n":20000,"edges":80000,"seed":7},"priority":1}`
+
+	misID := submit(misJob)
+	misStatus := waitDone(misID)
+	if result, ok := misStatus["result"].(map[string]any); !ok || result["verified"] != true {
+		t.Fatalf("mis job not verified: %v", misStatus)
+	}
+
+	// Same graph spec → same owning backend → its cache serves the build.
+	// The pagerank job shares the graph key, so affinity routing makes even
+	// a different workload hit the owner's cache.
+	againID := submit(misJob)
+	if misID%256 != againID%256 {
+		t.Fatalf("identical specs routed to backends %d and %d", misID%256, againID%256)
+	}
+	again := waitDone(againID)
+	if result, ok := again["result"].(map[string]any); !ok || result["graph_cache_hit"] != true {
+		t.Fatalf("repeat submit missed the owning node's graph cache: %v", again)
+	}
+	pr := waitDone(submit(prJob))
+	if result, ok := pr["result"].(map[string]any); !ok || result["graph_cache_hit"] != true {
+		t.Fatalf("same-graph pagerank missed the owning node's cache: %v", pr)
+	}
+
+	resp, err := http.Get(gw.base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		HealthyBackends int `json:"healthy_backends"`
+		Backends        []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"backends"`
+		Jobs struct {
+			Done int64 `json:"done"`
+		} `json:"jobs"`
+		Cache struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+		RankError struct {
+			Count int64 `json:"count"`
+		} `json:"rank_error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.HealthyBackends != 2 || len(metrics.Backends) != 2 {
+		t.Fatalf("cluster metrics: healthy=%d backends=%d", metrics.HealthyBackends, len(metrics.Backends))
+	}
+	if metrics.Jobs.Done != 3 {
+		t.Fatalf("aggregate done = %d, want 3", metrics.Jobs.Done)
+	}
+	if metrics.Cache.Hits < 2 {
+		t.Fatalf("aggregate cache hits = %d after two same-graph repeats", metrics.Cache.Hits)
+	}
+	if metrics.RankError.Count != 3 {
+		t.Fatalf("global rank-error count = %d, want 3", metrics.RankError.Count)
+	}
+
+	// SIGTERM the gateway first (it drains the backends), then the
+	// backends; all three must exit 0.
+	gw.terminate(t)
+	b1.terminate(t)
+	b2.terminate(t)
+}

@@ -47,6 +47,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		edges     = fs.Int64("edges", 80_000, "graph edge target (gnp/powerlaw)")
 		exponent  = fs.Float64("exponent", 0, "power-law exponent (0 = default 2.5)")
 		graphSeed = fs.Uint64("graph-seed", 1, "graph generator seed (one seed = one cache entry)")
+		seeds     = fs.Int("graph-seeds", 1, "cycle jobs over this many consecutive seeds (distinct graph keys; via a gateway, distinct ring positions)")
 		spread    = fs.Int("priority-spread", 100, "job priorities cycle over [0, spread)")
 		poll      = fs.Duration("poll", 2*time.Millisecond, "status poll interval")
 		verify    = fs.Bool("verify", true, "ask each job to run its exactness oracle")
@@ -62,6 +63,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *spread < 1 {
 		return fmt.Errorf("-priority-spread must be at least 1, got %d", *spread)
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-graph-seeds must be at least 1, got %d", *seeds)
 	}
 	var mix []string
 	if *workloads != "" {
@@ -86,6 +90,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Exponent: *exponent,
 			Seed:     *graphSeed,
 		},
+		GraphSeeds:     *seeds,
 		PrioritySpread: *spread,
 		PollInterval:   *poll,
 		Verify:         *verify,

@@ -22,13 +22,20 @@
 // BENCH_concurrent.json; cmd/relaxsim and internal/sim regenerate Table 1.
 //
 // On the serving path, internal/service and cmd/relaxd expose the registry
-// as a long-running job service over an HTTP JSON API: the pending-job
-// queue is itself an internal/sched scheduler (exact, MultiQueue,
-// k-bounded or FIFO), with per-job rank error and queue latency measured,
-// a graph cache keyed by canonical generator spec, bounded admission and
-// graceful drain; cmd/relaxload is its closed-loop load generator.
-// See ARCHITECTURE.md for the layer diagram and the how-to-add-a-workload
-// walkthrough, and EXPERIMENTS.md for the measurement methodology.
+// as a long-running job service: the pending-job queue is itself an
+// internal/sched scheduler (exact, MultiQueue, k-bounded or FIFO), with
+// per-job rank error and queue latency measured, a graph cache keyed by
+// canonical generator spec, bounded admission and graceful drain. The wire
+// contract lives in internal/api — the transport-agnostic Dispatcher
+// interface, the wire types, the JSON error envelope, a typed client and
+// the versioned /v1 HTTP handler — shared by the daemon, the tools and
+// internal/gateway + cmd/relaxgw, a cluster gateway that shards jobs
+// across N relaxd backends by consistent hash of the graph key and
+// measures the global rank error that emerges from per-node queues (the
+// MultiQueue construction lifted to the fleet); cmd/relaxload is the
+// closed-loop load generator for either. See ARCHITECTURE.md for the
+// layer diagram and the how-to-add-a-workload walkthrough, and
+// EXPERIMENTS.md for the measurement methodology.
 //
 // The root package contains no code; it exists to carry this documentation
 // and the repository-level benchmarks in bench_test.go, which regenerate

@@ -1,0 +1,40 @@
+// Package api is the typed, versioned wire surface of the relaxd job
+// service: the JSON types every process speaks (JobSpec, JobStatus,
+// Metrics, the GraphSpec cache key, the uniform error envelope), the
+// transport-agnostic Dispatcher interface, a typed HTTP client, and the
+// HTTP handler that serves any Dispatcher.
+//
+// The package exists so that the three places a job can be dispatched —
+// in-process through service.Manager, remotely through Client, and
+// cluster-wide through the gateway — are interchangeable behind one
+// interface, and so that relaxd, relaxload and relaxgw decode exactly the
+// same bytes instead of hand-rolling per-binary structs.
+//
+// The HTTP surface is versioned under /v1 (see NewHandler); the
+// pre-versioning paths remain as aliases for one release.
+package api
+
+import "context"
+
+// Dispatcher is the transport-agnostic job-dispatch interface: everything
+// a client can ask a job service to do, independent of whether the service
+// is in-process (service.Manager via service.Local), a single remote node
+// (Client), or a whole cluster behind a gateway.
+//
+// Implementations return *Error for failures that have a wire
+// representation (admission rejections, unknown jobs, dead backends), so
+// HTTP layers can map them onto status codes without string matching.
+type Dispatcher interface {
+	// Submit validates and enqueues a job, returning its queued status
+	// (including the assigned id).
+	Submit(ctx context.Context, spec JobSpec) (JobStatus, error)
+	// Status reports a job's current state by id.
+	Status(ctx context.Context, id int64) (JobStatus, error)
+	// Workloads lists the runnable workloads in deterministic order.
+	Workloads(ctx context.Context) ([]WorkloadInfo, error)
+	// Metrics returns a consistent snapshot of the service counters.
+	Metrics(ctx context.Context) (Metrics, error)
+	// Drain stops admission: subsequent Submits are rejected while already
+	// accepted jobs run to completion. It does not block for the drain.
+	Drain(ctx context.Context) error
+}

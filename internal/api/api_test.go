@@ -1,0 +1,275 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeDispatcher is an in-memory Dispatcher for exercising the handler and
+// client as a matched pair, including every error-envelope path.
+type fakeDispatcher struct {
+	jobs     map[int64]JobStatus
+	nextID   int64
+	draining bool
+	// submitErr, when set, is returned by Submit verbatim.
+	submitErr error
+}
+
+func newFakeDispatcher() *fakeDispatcher {
+	return &fakeDispatcher{jobs: map[int64]JobStatus{}, nextID: 1}
+}
+
+func (f *fakeDispatcher) Submit(_ context.Context, spec JobSpec) (JobStatus, error) {
+	if f.submitErr != nil {
+		return JobStatus{}, f.submitErr
+	}
+	if f.draining {
+		return JobStatus{}, Errorf(CodeDraining, "draining, not accepting jobs")
+	}
+	if spec.Workload == "" {
+		return JobStatus{}, Errorf(CodeInvalidRequest, "workload is required")
+	}
+	st := JobStatus{ID: f.nextID, State: StateQueued, Spec: spec}
+	f.jobs[f.nextID] = st
+	f.nextID++
+	return st, nil
+}
+
+func (f *fakeDispatcher) Status(_ context.Context, id int64) (JobStatus, error) {
+	st, ok := f.jobs[id]
+	if !ok {
+		return JobStatus{}, Errorf(CodeUnknownJob, "unknown job id %d", id)
+	}
+	return st, nil
+}
+
+func (f *fakeDispatcher) Workloads(context.Context) ([]WorkloadInfo, error) {
+	return []WorkloadInfo{{Name: "mis", Kind: "static", Brief: "b", Input: "i", WastedWork: "w"}}, nil
+}
+
+func (f *fakeDispatcher) Metrics(context.Context) (Metrics, error) {
+	return Metrics{JobSched: "exact", Draining: f.draining}, nil
+}
+
+func (f *fakeDispatcher) Drain(context.Context) error {
+	f.draining = true
+	return nil
+}
+
+// TestClientHandlerRoundTrip drives the typed client against the generic
+// handler end to end: submit, status, workloads, metrics, drain, healthz.
+func TestClientHandlerRoundTrip(t *testing.T) {
+	d := newFakeDispatcher()
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+	c := NewClient(srv.URL + "/") // trailing slash is normalized away
+	ctx := context.Background()
+
+	spec := DefaultJobSpec()
+	spec.Workload = "mis"
+	spec.Graph = GraphSpec{N: 100, Edges: 200}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != 1 || st.State != StateQueued {
+		t.Fatalf("submit returned %+v", st)
+	}
+	if st.Spec.Workload != "mis" || st.Spec.Graph.N != 100 {
+		t.Fatalf("spec did not round-trip: %+v", st.Spec)
+	}
+
+	got, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != st.ID {
+		t.Fatalf("status returned %+v", got)
+	}
+
+	infos, err := c.Workloads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "mis" {
+		t.Fatalf("workloads = %+v", infos)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobSched != "exact" || m.Draining {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	ok, err := c.Healthy(ctx)
+	if err != nil || !ok {
+		t.Fatalf("healthy = %v, %v", ok, err)
+	}
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Healthy(ctx); err != nil || ok {
+		t.Fatalf("healthy after drain = %v, %v", ok, err)
+	}
+	if _, err := c.Submit(ctx, spec); !IsCode(err, CodeDraining) {
+		t.Fatalf("submit while draining returned %v", err)
+	}
+}
+
+// TestErrorEnvelopeOverTheWire: codes, retry hints and HTTP statuses
+// survive the handler→client round trip, including the legacy alias field.
+func TestErrorEnvelopeOverTheWire(t *testing.T) {
+	d := newFakeDispatcher()
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	// 404 with code unknown_job.
+	_, err := c.Status(ctx, 999)
+	var e *Error
+	if !errors.As(err, &e) || e.Code != CodeUnknownJob {
+		t.Fatalf("unknown job returned %v", err)
+	}
+
+	// 429 with retry_after_ms passes through typed.
+	d.submitErr = &Error{Code: CodeQueueFull, Message: "job queue full", RetryAfterMS: 250}
+	_, err = c.Submit(ctx, JobSpec{Workload: "mis"})
+	if !errors.As(err, &e) || e.Code != CodeQueueFull || e.RetryAfterMS != 250 {
+		t.Fatalf("queue-full error = %v", err)
+	}
+
+	// The raw wire body carries code, message, retry hint, the legacy
+	// "error" alias, and the Retry-After header.
+	resp, raw := post(t, srv.URL+"/v1/jobs", `{"workload":"mis"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	var body map[string]any
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["code"] != "queue_full" || body["retry_after_ms"] != float64(250) {
+		t.Fatalf("envelope = %s", raw)
+	}
+	if body["error"] != body["message"] {
+		t.Fatalf("legacy error field does not mirror message: %s", raw)
+	}
+
+	// Non-envelope upstream bodies are coerced by the client, not dropped.
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gateway exploded", http.StatusBadGateway)
+	}))
+	defer plain.Close()
+	_, err = NewClient(plain.URL).Status(ctx, 1)
+	if !errors.As(err, &e) || e.Code != CodeBackendDown || !strings.Contains(e.Message, "gateway exploded") {
+		t.Fatalf("coerced error = %v", err)
+	}
+}
+
+// TestHandlerRequestValidation: malformed bodies, oversized payloads and
+// bad ids map to the documented envelope codes.
+func TestHandlerRequestValidation(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(newFakeDispatcher()))
+	defer srv.Close()
+
+	cases := []struct {
+		name     string
+		body     string
+		wantCode string
+		wantHTTP int
+	}{
+		{"malformed json", `{`, CodeInvalidRequest, 400},
+		{"unknown field", `{"workload":"mis","frobnicate":1}`, CodeInvalidRequest, 400},
+		{"oversized body", `{"workload":"` + strings.Repeat("x", maxJobSpecBytes) + `"}`, CodePayloadTooLarge, 413},
+	}
+	for _, tc := range cases {
+		resp, raw := post(t, srv.URL+"/v1/jobs", tc.body)
+		if resp.StatusCode != tc.wantHTTP {
+			t.Fatalf("%s: status %s, body %s", tc.name, resp.Status, raw)
+		}
+		var e Error
+		if err := json.Unmarshal(raw, &e); err != nil || e.Code != tc.wantCode {
+			t.Fatalf("%s: envelope %s (err %v)", tc.name, raw, err)
+		}
+	}
+
+	resp, raw := get(t, srv.URL+"/v1/jobs/abc")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id: %s %s", resp.Status, raw)
+	}
+}
+
+// TestUnversionedAliases: the pre-versioning paths serve the same handlers
+// during the deprecation window.
+func TestUnversionedAliases(t *testing.T) {
+	d := newFakeDispatcher()
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+
+	resp, raw := post(t, srv.URL+"/jobs", `{"workload":"mis"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy submit: %s %s", resp.Status, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil || st.ID != 1 {
+		t.Fatalf("legacy submit body: %s", raw)
+	}
+	for _, path := range []string{"/jobs/1", "/workloads", "/metrics", "/v1/jobs/1", "/v1/workloads", "/v1/metrics"} {
+		resp, raw := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s %s", path, resp.Status, raw)
+		}
+	}
+}
+
+func TestWrapError(t *testing.T) {
+	plain := fmt.Errorf("spec invalid")
+	if e := WrapError(plain, CodeInvalidRequest); e.Code != CodeInvalidRequest || e.Message != "spec invalid" {
+		t.Fatalf("wrapped = %+v", e)
+	}
+	typed := Errorf(CodeQueueFull, "full")
+	if e := WrapError(fmt.Errorf("submitting: %w", typed), CodeInternal); e != typed {
+		t.Fatalf("wrapped typed error did not pass through: %+v", e)
+	}
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}

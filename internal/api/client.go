@@ -1,0 +1,170 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxErrorBody bounds how much of a non-JSON error body the client keeps
+// when synthesizing an envelope from a raw response.
+const maxErrorBody = 4096
+
+// Client is the typed HTTP client for the versioned relaxd wire API. It
+// implements Dispatcher, so code written against the interface runs
+// unchanged against an in-process manager, a single remote node, or a
+// gateway. The zero value is not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080" (no
+	// trailing slash).
+	BaseURL string
+	// HTTP is the underlying client. NewClient installs one with a
+	// request timeout; callers sharing a fleet of Clients may inject a
+	// single *http.Client here instead.
+	HTTP *http.Client
+}
+
+var _ Dispatcher = (*Client)(nil)
+
+// defaultHTTPClient bounds every request end to end. Submissions return
+// 202 immediately (execution is asynchronous), so 30 s only ever bites on
+// a wedged server — exactly when the caller wants the error.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// NewClient returns a client for the service rooted at baseURL, sharing
+// the package-level timed HTTP client.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: defaultHTTPClient}
+}
+
+// Submit POSTs a job spec and returns its queued status. Admission
+// rejections come back as *Error (CodeQueueFull carries RetryAfterMS).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), http.StatusAccepted, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status GETs one job's status by id.
+func (c *Client) Status(ctx context.Context, id int64) (JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, http.StatusOK, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Workloads GETs the registry listing.
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var infos []WorkloadInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, http.StatusOK, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Metrics GETs the service counters snapshot. Against a gateway this
+// decodes the cluster-wide aggregate; use ClusterMetrics for the
+// per-backend breakdown.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, http.StatusOK, &m); err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// ClusterMetrics GETs a gateway's metrics including the per-backend rows.
+// Against a single node the Backends slice is simply empty.
+func (c *Client) ClusterMetrics(ctx context.Context) (ClusterMetrics, error) {
+	var m ClusterMetrics
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, http.StatusOK, &m); err != nil {
+		return ClusterMetrics{}, err
+	}
+	return m, nil
+}
+
+// Drain POSTs the drain request: the service stops admitting jobs.
+func (c *Client) Drain(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/drain", nil, http.StatusAccepted, nil)
+}
+
+// Healthy GETs /healthz and reports whether the service answered 200.
+// A reachable-but-draining service returns (false, nil); a transport
+// failure returns the error.
+func (c *Client) Healthy(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTPClient
+}
+
+// do performs one request and decodes the response: the expected status
+// decodes into out (when non-nil); anything else decodes the error
+// envelope, synthesizing one from the raw body if the server (or an
+// intermediary) did not speak it.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, want int, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		var e Error
+		if json.Unmarshal(payload, &e) == nil && (e.Code != "" || e.Message != "" || e.LegacyError != "") {
+			if e.Message == "" {
+				e.Message = e.LegacyError
+			}
+			if e.Code == "" {
+				e.Code = codeForStatus(resp.StatusCode)
+			}
+			e.LegacyError = ""
+			return &e
+		}
+		return &Error{
+			Code:    codeForStatus(resp.StatusCode),
+			Message: fmt.Sprintf("%s %s returned %s: %s", method, path, resp.Status, bytes.TrimSpace(payload)),
+		}
+	}
+	if out == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}

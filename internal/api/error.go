@@ -1,0 +1,147 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error codes carried by the wire error envelope. Every error the HTTP
+// surface returns uses one of these, so clients branch on Code instead of
+// matching message strings.
+const (
+	// CodeInvalidRequest covers malformed JSON, unknown fields and spec
+	// validation failures (HTTP 400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeUnknownJob reports a status query for an id the service has no
+	// record of (HTTP 404).
+	CodeUnknownJob = "unknown_job"
+	// CodePayloadTooLarge reports a request body beyond the service's
+	// bound (HTTP 413).
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeQueueFull is an admission-control rejection: the pending queue
+	// is at its bound (HTTP 429). RetryAfterMS suggests a backoff.
+	CodeQueueFull = "queue_full"
+	// CodeBackendDown is a gateway-level failure: the backend owning the
+	// request is unreachable (HTTP 502).
+	CodeBackendDown = "backend_down"
+	// CodeDraining is an admission-control rejection: the service is
+	// shutting down (HTTP 503).
+	CodeDraining = "draining"
+	// CodeInternal is any other server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// Error is the uniform wire error envelope, serialized as the whole body
+// of every non-2xx response:
+//
+//	{"code":"queue_full","message":"service: job queue full","retry_after_ms":100,"error":"..."}
+//
+// It implements error, so Dispatcher implementations return it directly
+// and HTTP layers render it without translation.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable account of what went wrong.
+	Message string `json:"message"`
+	// RetryAfterMS, when positive, tells the client how long to back off
+	// before retrying (set on queue_full rejections).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// LegacyError mirrors Message under the pre-versioning key "error",
+	// kept for one release alongside the unversioned path aliases.
+	//
+	// Deprecated: read Message instead.
+	LegacyError string `json:"error,omitempty"`
+}
+
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// HTTPStatus maps the envelope's code onto its HTTP status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalidRequest:
+		return http.StatusBadRequest
+	case CodeUnknownJob:
+		return http.StatusNotFound
+	case CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeBackendDown:
+		return http.StatusBadGateway
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Errorf builds an envelope from a code and a format string.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WrapError coerces any error into an envelope: an *Error passes through
+// unchanged, anything else becomes fallback-coded.
+func WrapError(err error, fallbackCode string) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &Error{Code: fallbackCode, Message: err.Error()}
+}
+
+// IsCode reports whether err is (or wraps) an *Error with the given code.
+func IsCode(err error, code string) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}
+
+// codeForStatus is the client-side inverse of HTTPStatus, used when a
+// server (or proxy) answers without a decodable envelope.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidRequest
+	case http.StatusNotFound:
+		return CodeUnknownJob
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return CodeQueueFull
+	case http.StatusBadGateway:
+		return CodeBackendDown
+	case http.StatusServiceUnavailable:
+		return CodeDraining
+	default:
+		return CodeInternal
+	}
+}
+
+// WriteJSON writes v as an indented JSON body with the given status.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// WriteError renders err as the wire envelope with its mapped status,
+// coercing non-envelope errors to fallbackCode. 429 responses also carry
+// a standard Retry-After header (whole seconds, rounded up).
+func WriteError(w http.ResponseWriter, err error, fallbackCode string) {
+	e := WrapError(err, fallbackCode)
+	body := *e
+	body.LegacyError = body.Message
+	if body.Code == CodeQueueFull && body.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", (body.RetryAfterMS+999)/1000))
+	}
+	WriteJSON(w, e.HTTPStatus(), &body)
+}

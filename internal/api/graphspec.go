@@ -1,0 +1,111 @@
+package api
+
+import "fmt"
+
+// Graph models a job may request. These mirror the generator families the
+// bench harness sweeps (internal/bench), so service jobs and offline
+// benchmarks run on identically distributed inputs.
+const (
+	// ModelGNP is the Erdős–Rényi G(n, p) model (the default when empty).
+	ModelGNP = "gnp"
+	// ModelPowerLaw is the Chung–Lu power-law model.
+	ModelPowerLaw = "powerlaw"
+	// ModelGrid is a near-square grid (seedless and deterministic).
+	ModelGrid = "grid"
+)
+
+// MaxGraphVertices and MaxGraphEdges bound the size of a graph a single
+// job may ask a node to build — admission control for memory, not a
+// correctness limit. Both must be checked: 4M vertices admits a gnp edge
+// target up to n(n-1)/2 ≈ 8e12, whose generator-side edge shards would
+// OOM the daemon long before the CSR builder's own guards fire.
+const (
+	MaxGraphVertices = 4_000_000
+	MaxGraphEdges    = 40_000_000
+)
+
+// GraphSpec is the canonical description of a generated input graph: the
+// generator class, its size, its shape parameters and its seed. It is the
+// graph cache key — two jobs whose specs render to the same Key share one
+// CSR build — and, behind a gateway, the consistent-hash routing key that
+// keeps each backend's cache hot. Derived per-job inputs (priority
+// permutations, sssp edge weights) are a function of the job's seed, not
+// of the graph, so they are deliberately outside the key.
+type GraphSpec struct {
+	// Model selects the generator: gnp (default when empty), powerlaw, grid.
+	Model string `json:"model,omitempty"`
+	// N is the number of vertices (grid: rounded to the nearest factorable
+	// rows×cols shape with exactly N vertices, falling back to a path).
+	N int `json:"n"`
+	// Edges is the target edge count for gnp and powerlaw (ignored by grid).
+	Edges int64 `json:"edges,omitempty"`
+	// Exponent is the power-law exponent (powerlaw only; 0 selects 2.5).
+	Exponent float64 `json:"exponent,omitempty"`
+	// Seed drives the randomized generators (ignored by grid).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Normalized returns the spec with defaults made explicit, so equivalent
+// specs render to one cache key.
+func (s GraphSpec) Normalized() GraphSpec {
+	if s.Model == "" {
+		s.Model = ModelGNP
+	}
+	if s.Model == ModelPowerLaw && s.Exponent == 0 {
+		s.Exponent = 2.5
+	}
+	if s.Model == ModelGrid {
+		// Grid is deterministic: seed and edge target do not influence the
+		// built graph and must not split the cache.
+		s.Seed = 0
+		s.Edges = 0
+		s.Exponent = 0
+	}
+	if s.Model != ModelPowerLaw {
+		s.Exponent = 0
+	}
+	return s
+}
+
+// Validate checks the spec against the generator families' requirements.
+func (s GraphSpec) Validate() error {
+	n := s.Normalized()
+	switch n.Model {
+	case ModelGNP, ModelPowerLaw, ModelGrid:
+	default:
+		return fmt.Errorf("unknown graph model %q (known: %s, %s, %s)", s.Model, ModelGNP, ModelPowerLaw, ModelGrid)
+	}
+	if n.N < 1 {
+		return fmt.Errorf("graph must have at least 1 vertex, got %d", s.N)
+	}
+	if n.N > MaxGraphVertices {
+		return fmt.Errorf("graph of %d vertices exceeds the per-job limit of %d", s.N, MaxGraphVertices)
+	}
+	if n.Model != ModelGrid && s.Edges < 0 {
+		return fmt.Errorf("edge count must be non-negative, got %d", s.Edges)
+	}
+	if n.Model != ModelGrid && s.Edges > MaxGraphEdges {
+		return fmt.Errorf("edge target %d exceeds the per-job limit of %d", s.Edges, MaxGraphEdges)
+	}
+	if n.Model == ModelPowerLaw && !(n.Exponent > 1) {
+		return fmt.Errorf("power-law exponent must exceed 1, got %v", s.Exponent)
+	}
+	if maxEdges := int64(n.N) * int64(n.N-1) / 2; n.Model == ModelGNP && s.Edges > maxEdges {
+		return fmt.Errorf("edge count %d exceeds the simple-graph maximum %d for %d vertices", s.Edges, maxEdges, s.N)
+	}
+	return nil
+}
+
+// Key renders the canonical cache/routing key, e.g.
+// "gnp/n=100000/m=1000000/seed=7".
+func (s GraphSpec) Key() string {
+	n := s.Normalized()
+	switch n.Model {
+	case ModelGrid:
+		return fmt.Sprintf("grid/n=%d", n.N)
+	case ModelPowerLaw:
+		return fmt.Sprintf("powerlaw/n=%d/m=%d/exp=%g/seed=%d", n.N, n.Edges, n.Exponent, n.Seed)
+	default:
+		return fmt.Sprintf("gnp/n=%d/m=%d/seed=%d", n.N, n.Edges, n.Seed)
+	}
+}

@@ -1,0 +1,69 @@
+package api
+
+import "testing"
+
+func TestGraphSpecValidate(t *testing.T) {
+	good := []GraphSpec{
+		{N: 10},
+		{Model: ModelGNP, N: 100, Edges: 200, Seed: 5},
+		{Model: ModelPowerLaw, N: 100, Edges: 300, Exponent: 2.5},
+		{Model: ModelPowerLaw, N: 100, Edges: 300}, // exponent defaults
+		{Model: ModelGrid, N: 100},
+		{Model: ModelGrid, N: 7}, // prime: falls back to a path
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%+v rejected: %v", s, err)
+		}
+	}
+	bad := []GraphSpec{
+		{},
+		{N: -1},
+		{Model: "hypercube", N: 10},
+		{Model: ModelGNP, N: 10, Edges: -1},
+		{Model: ModelGNP, N: 3, Edges: 4}, // beyond simple-graph max
+		{Model: ModelPowerLaw, N: 10, Edges: 20, Exponent: 1},
+		{N: MaxGraphVertices + 1},
+		{N: 1000, Edges: MaxGraphEdges + 1},
+		{Model: ModelPowerLaw, N: 1000, Edges: MaxGraphEdges + 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("%+v accepted", s)
+		}
+	}
+}
+
+// TestGraphSpecKeyCanonicalization: specs that build the same graph render
+// the same key; specs that differ in any graph-determining field do not.
+// The key doubles as the gateway's routing key, so canonicalization is
+// also what keeps equivalent submissions on one backend.
+func TestGraphSpecKeyCanonicalization(t *testing.T) {
+	if (GraphSpec{N: 10, Edges: 20, Seed: 1}).Key() != (GraphSpec{Model: ModelGNP, N: 10, Edges: 20, Seed: 1}).Key() {
+		t.Fatal("empty model and explicit gnp render different keys")
+	}
+	if (GraphSpec{Model: ModelPowerLaw, N: 10, Edges: 20}).Key() != (GraphSpec{Model: ModelPowerLaw, N: 10, Edges: 20, Exponent: 2.5}).Key() {
+		t.Fatal("default exponent splits the powerlaw key")
+	}
+	// Grid ignores seed, edges and exponent by construction.
+	if (GraphSpec{Model: ModelGrid, N: 100, Seed: 1, Edges: 5}).Key() != (GraphSpec{Model: ModelGrid, N: 100, Seed: 2}).Key() {
+		t.Fatal("grid key depends on ignored fields")
+	}
+	distinct := []GraphSpec{
+		{N: 10, Edges: 20, Seed: 1},
+		{N: 10, Edges: 20, Seed: 2},
+		{N: 10, Edges: 21, Seed: 1},
+		{N: 11, Edges: 20, Seed: 1},
+		{Model: ModelPowerLaw, N: 10, Edges: 20, Seed: 1},
+		{Model: ModelPowerLaw, N: 10, Edges: 20, Seed: 1, Exponent: 3},
+		{Model: ModelGrid, N: 10},
+	}
+	seen := map[string]GraphSpec{}
+	for _, s := range distinct {
+		key := s.Key()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("%+v and %+v share key %q", prev, s, key)
+		}
+		seen[key] = s
+	}
+}

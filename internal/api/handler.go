@@ -1,0 +1,104 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// maxJobSpecBytes bounds a submission body. A valid JobSpec is a few
+// hundred bytes; the bound keeps one client from growing the daemon's
+// heap with an endless token.
+const maxJobSpecBytes = 1 << 16
+
+// NewHandler serves any Dispatcher over the versioned HTTP wire API:
+//
+//	POST /v1/jobs         submit a job (JobSpec JSON) -> 202 + JobStatus
+//	GET  /v1/jobs/{id}    poll a job's status/result  -> 200 + JobStatus
+//	GET  /v1/workloads    list the registry           -> 200 + []WorkloadInfo
+//	GET  /v1/metrics      service counters snapshot   -> 200 + Metrics
+//	POST /v1/drain        stop admission              -> 202
+//	GET  /healthz         liveness ("ok"/"draining")
+//
+// The pre-versioning paths (/jobs, /jobs/{id}, /workloads, /metrics)
+// remain registered as aliases for one release; new clients must use /v1.
+//
+// Every non-2xx response body is the Error envelope: 400 invalid_request,
+// 404 unknown_job, 413 payload_too_large, 429 queue_full (with
+// retry_after_ms), 502 backend_down, 503 draining.
+func NewHandler(d Dispatcher) http.Handler {
+	mux := http.NewServeMux()
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, h) // deprecated unversioned alias
+	}
+	handle("POST", "/jobs", func(w http.ResponseWriter, r *http.Request) {
+		spec := DefaultJobSpec()
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				WriteError(w, Errorf(CodePayloadTooLarge, "job spec exceeds %d bytes", tooBig.Limit), CodePayloadTooLarge)
+				return
+			}
+			WriteError(w, Errorf(CodeInvalidRequest, "decoding job spec: %v", err), CodeInvalidRequest)
+			return
+		}
+		st, err := d.Submit(r.Context(), spec)
+		if err != nil {
+			WriteError(w, err, CodeInvalidRequest)
+			return
+		}
+		WriteJSON(w, http.StatusAccepted, st)
+	})
+	handle("GET", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			WriteError(w, Errorf(CodeInvalidRequest, "invalid job id %q", r.PathValue("id")), CodeInvalidRequest)
+			return
+		}
+		st, err := d.Status(r.Context(), id)
+		if err != nil {
+			WriteError(w, err, CodeInternal)
+			return
+		}
+		WriteJSON(w, http.StatusOK, st)
+	})
+	handle("GET", "/workloads", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := d.Workloads(r.Context())
+		if err != nil {
+			WriteError(w, err, CodeInternal)
+			return
+		}
+		WriteJSON(w, http.StatusOK, infos)
+	})
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m, err := d.Metrics(r.Context())
+		if err != nil {
+			WriteError(w, err, CodeInternal)
+			return
+		}
+		WriteJSON(w, http.StatusOK, m)
+	})
+	handle("POST", "/drain", func(w http.ResponseWriter, r *http.Request) {
+		if err := d.Drain(r.Context()); err != nil {
+			WriteError(w, err, CodeInternal)
+			return
+		}
+		WriteJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		m, err := d.Metrics(r.Context())
+		switch {
+		case err != nil:
+			WriteError(w, err, CodeInternal)
+		case m.Draining:
+			WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		default:
+			WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		}
+	})
+	return mux
+}

@@ -1,0 +1,238 @@
+package api
+
+import "time"
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+const (
+	// StateQueued means the job sits in a scheduler-backed pending queue.
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is executing the job.
+	StateRunning JobState = "running"
+	// StateDone means the job finished and (if requested) verified.
+	StateDone JobState = "done"
+	// StateFailed means execution or verification returned an error.
+	StateFailed JobState = "failed"
+	// StateCanceled means the job was aborted by a forced shutdown before
+	// it could finish.
+	StateCanceled JobState = "canceled"
+)
+
+// JobSpec is a job submission: which workload to run, in which execution
+// mode, on which (generated) graph, at which queue priority. The field set
+// deliberately mirrors cmd/relaxrun's flags — a job is one relaxrun
+// invocation made resident.
+type JobSpec struct {
+	// Workload is a registry name (mis, coloring, matching, sssp, kcore,
+	// pagerank).
+	Workload string `json:"workload"`
+	// Mode is the execution mode: sequential, relaxed, concurrent, exact.
+	Mode string `json:"mode"`
+	// Graph describes the input graph; it is also the graph-cache key and
+	// the gateway's consistent-hash routing key.
+	Graph GraphSpec `json:"graph"`
+	// Priority is the job's queue priority; lower values are scheduled
+	// sooner, exactly like a task priority in internal/sched.
+	Priority uint32 `json:"priority"`
+	// K is the relaxation factor for mode "relaxed" (default 16).
+	K int `json:"k,omitempty"`
+	// Threads is the worker count for modes "concurrent"/"exact" (default
+	// 2).
+	Threads int `json:"threads,omitempty"`
+	// Batch is the executor batch size (0 = executor default).
+	Batch int `json:"batch,omitempty"`
+	// Seed drives the job's derived inputs (permutations, weights) and
+	// relaxed schedulers.
+	Seed uint64 `json:"seed,omitempty"`
+	// Delta is the sssp Δ-stepping bucket width (0 or 1 = exact distances).
+	Delta uint32 `json:"delta,omitempty"`
+	// Damping is the pagerank damping factor (0 selects 0.85).
+	Damping float64 `json:"damping,omitempty"`
+	// Tolerance is the pagerank target L1 error (0 selects 1e-9).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Source is the sssp source vertex (-1 = first non-isolated vertex).
+	Source int `json:"source"`
+	// Verify asks the worker to check the output against the workload's
+	// exactness oracle after execution (the default for submissions).
+	Verify bool `json:"verify"`
+}
+
+// DefaultJobSpec returns the spec template HTTP submissions are decoded
+// over, making the documented defaults explicit.
+func DefaultJobSpec() JobSpec {
+	return JobSpec{
+		Mode:    "sequential",
+		K:       16,
+		Threads: 2,
+		Source:  -1,
+		Verify:  true,
+	}
+}
+
+// JobResult is the outcome of a finished job.
+type JobResult struct {
+	// Summary is the workload's one-line output account ("MIS size: 123").
+	Summary string `json:"summary"`
+	// Verified reports whether the output passed the workload's exactness
+	// oracle (false when the submission asked not to verify).
+	Verified bool `json:"verified"`
+	// Pops, StalePops and Wasted are the execution's work accounting (see
+	// workload.Cost); WastedWorkLabel names what Wasted counts.
+	Pops            int64  `json:"pops"`
+	StalePops       int64  `json:"stale_pops"`
+	Wasted          int64  `json:"wasted"`
+	WastedWorkLabel string `json:"wasted_work_label"`
+	// ExecNanos is the wall-clock execution time (excluding queueing and
+	// graph build/cache lookup).
+	ExecNanos int64 `json:"exec_ns"`
+	// GraphCacheHit reports whether the input graph came from the cache.
+	GraphCacheHit bool `json:"graph_cache_hit"`
+}
+
+// JobStatus is the externally visible state of a job, returned by the
+// submit and status endpoints. Behind a gateway the ID carries the owning
+// backend in its low bits; clients must treat it as opaque.
+type JobStatus struct {
+	ID    int64    `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is set for done jobs.
+	Result *JobResult `json:"result,omitempty"`
+	// QueueRank is the rank (1 = true minimum) this job had among all
+	// pending jobs when the scheduler dispensed it — its observed
+	// scheduling rank error is QueueRank-1. Zero while still queued.
+	QueueRank int `json:"queue_rank,omitempty"`
+	// QueueNanos is the time the job spent queued before dispatch.
+	QueueNanos int64 `json:"queue_ns,omitempty"`
+	// SubmittedAt is the submission wall-clock time.
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// WorkloadInfo is one row of the workload-listing endpoint, taken straight
+// from the registry descriptor.
+type WorkloadInfo struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Brief      string `json:"brief"`
+	Input      string `json:"input"`
+	WastedWork string `json:"wasted_work"`
+}
+
+// LatencySummary summarizes a latency distribution in milliseconds. Count,
+// mean and max are exact over the service lifetime; the percentiles are
+// computed over a sliding window of the most recent samples. In a
+// gateway's cluster aggregate the percentiles are count-weighted means of
+// the per-backend percentiles — an approximation, flagged in the docs.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// RankErrorStats summarizes observed per-job scheduling rank error — the
+// number of pending jobs that were strictly better (lower priority value)
+// than the one the queue dispensed, the paper's rank error measured at job
+// granularity. An exact job scheduler reports all zeros. At the gateway
+// the same statistic is measured against the cluster-wide pending set.
+type RankErrorStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+}
+
+// JobCounts breaks the jobs a service has seen down by outcome. Queued
+// and Running are instantaneous gauges; the rest are lifetime counters.
+type JobCounts struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	// Rejected counts submissions refused by admission control (queue full
+	// or draining); they never became jobs.
+	Rejected int64 `json:"rejected"`
+}
+
+// CacheStats is a snapshot of a graph cache's counters.
+type CacheStats struct {
+	// Entries and Capacity describe current occupancy.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Hits counts lookups served by an existing entry — including waiters
+	// that piggybacked on a build still in flight; Misses counts lookups
+	// that had to initiate a CSR build themselves.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts entries displaced by the LRU bound.
+	Evictions int64 `json:"evictions"`
+}
+
+// CostTotals accumulates the work accounting of every finished job.
+type CostTotals struct {
+	Pops      int64 `json:"pops"`
+	StalePops int64 `json:"stale_pops"`
+	// Wasted sums each workload's headline wasted-work metric (extra
+	// iterations, stale pops, re-evaluations — see the registry's
+	// WastedWork labels).
+	Wasted int64 `json:"wasted"`
+}
+
+// Metrics is the GET /v1/metrics snapshot of one node. A gateway serves
+// the same shape as the cluster aggregate (see ClusterMetrics).
+type Metrics struct {
+	// UptimeSeconds is the time since the manager (or gateway) started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// JobSched and JobSchedK identify the scheduler the pending-job queue
+	// runs on ("mixed" in a cluster aggregate of heterogeneous backends);
+	// Workers and QueueCapacity are the pool size and admission bound
+	// (cluster: sums).
+	JobSched      string `json:"job_sched"`
+	JobSchedK     int    `json:"job_sched_k"`
+	Workers       int    `json:"workers"`
+	QueueCapacity int    `json:"queue_capacity"`
+	// Draining reports whether the service has stopped accepting jobs.
+	Draining bool `json:"draining"`
+
+	Jobs  JobCounts  `json:"jobs"`
+	Cache CacheStats `json:"cache"`
+	Cost  CostTotals `json:"cost"`
+	// RankError is the job queue's observed relaxation. On a gateway this
+	// is the *global* rank error: each job's rank among every job pending
+	// anywhere in the cluster, measured at the coordination layer.
+	RankError RankErrorStats `json:"rank_error"`
+	// QueueLatency measures submit→dispatch; ExecLatency measures the
+	// execution itself (excluding queueing and graph build).
+	QueueLatency LatencySummary `json:"queue_latency"`
+	ExecLatency  LatencySummary `json:"exec_latency"`
+}
+
+// BackendMetrics is one backend's row in a gateway's cluster snapshot.
+type BackendMetrics struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Error records why the backend's metrics could not be fetched.
+	Error string `json:"error,omitempty"`
+	// Metrics is the backend's own snapshot (nil when unreachable).
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+// ClusterMetrics is the gateway's GET /v1/metrics payload: a cluster-wide
+// aggregate in the exact wire shape of a single node's Metrics (so
+// single-node clients keep working unchanged), plus the per-backend
+// breakdown. The embedded RankError is the gateway-measured global rank
+// error — the MultiQueue construction's quality metric lifted to cluster
+// level, with per-node rank errors still visible under Backends.
+type ClusterMetrics struct {
+	Metrics
+	// HealthyBackends counts backends whose last health check passed.
+	HealthyBackends int `json:"healthy_backends"`
+	// Backends lists every configured backend in routing order.
+	Backends []BackendMetrics `json:"backends"`
+}

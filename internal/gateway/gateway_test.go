@@ -1,0 +1,288 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"relaxsched/internal/api"
+	"relaxsched/internal/service"
+)
+
+// testBackend is one in-process relaxd: a real service.Manager behind a
+// real HTTP server, so the gateway's client stack is exercised end to end.
+type testBackend struct {
+	mgr *service.Manager
+	srv *httptest.Server
+}
+
+func startBackend(t *testing.T) *testBackend {
+	t.Helper()
+	mgr, err := service.NewManager(service.Options{Workers: 1, QueueDepth: 64, JobSched: service.JobSchedExact, CacheCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		mgr.Close(ctx)
+	})
+	return &testBackend{mgr: mgr, srv: srv}
+}
+
+func newTestGateway(t *testing.T, urls ...string) *Gateway {
+	t.Helper()
+	g, err := New(Options{Backends: urls, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// deadBackendURL returns a URL nothing listens on.
+func deadBackendURL(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	return url
+}
+
+func misSpec(seed uint64) api.JobSpec {
+	spec := api.DefaultJobSpec()
+	spec.Workload = "mis"
+	spec.Graph = api.GraphSpec{N: 500, Edges: 2000, Seed: seed}
+	return spec
+}
+
+func waitDone(t *testing.T, d api.Dispatcher, id int64) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := d.Status(context.Background(), id)
+		if err != nil {
+			t.Fatalf("status %d: %v", id, err)
+		}
+		switch st.State {
+		case api.StateDone:
+			return st
+		case api.StateFailed, api.StateCanceled:
+			t.Fatalf("job %d ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %d did not finish", id)
+	return api.JobStatus{}
+}
+
+// TestGatewayGraphAffinity: identical graph specs route to one backend,
+// so the second submission hits that backend's graph cache; a different
+// spec may land anywhere but must still round-trip.
+func TestGatewayGraphAffinity(t *testing.T) {
+	b1, b2 := startBackend(t), startBackend(t)
+	g := newTestGateway(t, b1.srv.URL, b2.srv.URL)
+	ctx := context.Background()
+
+	first, err := g.Submit(ctx, misSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, g, first.ID)
+	second, err := g.Submit(ctx, misSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID%idStride != second.ID%idStride {
+		t.Fatalf("identical specs routed to backends %d and %d", first.ID%idStride, second.ID%idStride)
+	}
+	st := waitDone(t, g, second.ID)
+	if st.Result == nil || !st.Result.GraphCacheHit {
+		t.Fatalf("repeat submit missed the owner's graph cache: %+v", st.Result)
+	}
+	if st.Result.Verified != true {
+		t.Fatalf("job not verified: %+v", st.Result)
+	}
+
+	// Many distinct specs must use both backends — affinity, not pinning.
+	used := map[int64]bool{}
+	for seed := uint64(1); seed <= 32; seed++ {
+		spec := misSpec(seed)
+		spec.Graph.N = 100 + int(seed)
+		spec.Graph.Edges = 200
+		st, err := g.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used[st.ID%idStride] = true
+		waitDone(t, g, st.ID)
+	}
+	if len(used) != 2 {
+		t.Fatalf("32 distinct graph keys all routed to backends %v", used)
+	}
+}
+
+// TestGatewayFailover: submissions walk past an unreachable owner to the
+// next backend; with every backend down the gateway answers backend_down.
+func TestGatewayFailover(t *testing.T) {
+	live := startBackend(t)
+	dead := deadBackendURL(t)
+	g := newTestGateway(t, dead, live.srv.URL)
+	ctx := context.Background()
+
+	// Whatever the ring says, every submission must end up on the live
+	// backend (the dead one fails its first attempt and is marked down).
+	for seed := uint64(1); seed <= 8; seed++ {
+		st, err := g.Submit(ctx, misSpec(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		waitDone(t, g, st.ID)
+	}
+	if g.HealthyBackends() != 1 {
+		t.Fatalf("healthy backends = %d, want 1", g.HealthyBackends())
+	}
+
+	allDead := newTestGateway(t, deadBackendURL(t), deadBackendURL(t))
+	if _, err := allDead.Submit(ctx, misSpec(1)); !api.IsCode(err, api.CodeBackendDown) {
+		t.Fatalf("submit with no live backend: %v, want %s", err, api.CodeBackendDown)
+	}
+}
+
+// TestGatewayHandler502: over HTTP, a dead-backend submission is a 502
+// carrying the shared error envelope.
+func TestGatewayHandler502(t *testing.T) {
+	g := newTestGateway(t, deadBackendURL(t))
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(`{"workload":"mis","graph":{"n":100,"edges":200}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %s, want 502", resp.Status)
+	}
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != api.CodeBackendDown || e.Message == "" || e.LegacyError != e.Message {
+		t.Fatalf("envelope = %+v", e)
+	}
+
+	// /healthz reflects the dead fleet after the failed submission.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %s with all backends down, want 503", hresp.Status)
+	}
+}
+
+// TestGatewayStatusRouting: unknown and malformed global ids are 404s,
+// and a backend's own unknown-job answer passes through.
+func TestGatewayStatusRouting(t *testing.T) {
+	b := startBackend(t)
+	g := newTestGateway(t, b.srv.URL)
+	ctx := context.Background()
+
+	if _, err := g.Status(ctx, -1); !api.IsCode(err, api.CodeUnknownJob) {
+		t.Fatalf("negative id: %v", err)
+	}
+	// Backend index 7 does not exist in a 1-backend cluster.
+	if _, err := g.Status(ctx, 3*idStride+7); !api.IsCode(err, api.CodeUnknownJob) {
+		t.Fatalf("bad backend index: %v", err)
+	}
+	// Valid index, id the backend never issued.
+	if _, err := g.Status(ctx, 999999*idStride); !api.IsCode(err, api.CodeUnknownJob) {
+		t.Fatalf("unknown local id: %v", err)
+	}
+}
+
+// TestGatewayClusterMetricsAndRankError: the aggregate sums backend
+// counters, reports both backends healthy, and carries the gateway's
+// global rank-error measurement (one observation per job seen leaving
+// the queued state).
+func TestGatewayClusterMetricsAndRankError(t *testing.T) {
+	b1, b2 := startBackend(t), startBackend(t)
+	g := newTestGateway(t, b1.srv.URL, b2.srv.URL)
+	ctx := context.Background()
+
+	const jobs = 6
+	for seed := uint64(1); seed <= jobs; seed++ {
+		spec := misSpec(seed)
+		spec.Priority = uint32(seed * 10)
+		st, err := g.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, g, st.ID)
+	}
+
+	cm := g.ClusterMetrics(ctx)
+	if cm.HealthyBackends != 2 || len(cm.Backends) != 2 {
+		t.Fatalf("healthy=%d backends=%d", cm.HealthyBackends, len(cm.Backends))
+	}
+	if cm.Jobs.Done != jobs {
+		t.Fatalf("aggregate done = %d, want %d", cm.Jobs.Done, jobs)
+	}
+	var perNode int64
+	for _, row := range cm.Backends {
+		if row.Metrics == nil {
+			t.Fatalf("backend %s has no metrics: %s", row.URL, row.Error)
+		}
+		perNode += row.Metrics.Jobs.Done
+	}
+	if perNode != jobs {
+		t.Fatalf("per-backend done sums to %d, want %d", perNode, jobs)
+	}
+	if cm.Workers != 2 || cm.QueueCapacity != 128 {
+		t.Fatalf("workers=%d queue=%d, want sums 2 and 128", cm.Workers, cm.QueueCapacity)
+	}
+	if cm.JobSched != service.JobSchedExact {
+		t.Fatalf("job_sched = %q, want %q (homogeneous fleet)", cm.JobSched, service.JobSchedExact)
+	}
+	// Every job was polled out of queued, so the global tracker observed
+	// every departure and the live set is empty again.
+	if cm.RankError.Count != jobs {
+		t.Fatalf("global rank-error count = %d, want %d", cm.RankError.Count, jobs)
+	}
+	g.mu.Lock()
+	liveLen, pendingLen := g.tracker.Len(), len(g.pending)
+	g.mu.Unlock()
+	if liveLen != 0 || pendingLen != 0 {
+		t.Fatalf("tracker leaked: live=%d pending=%d", liveLen, pendingLen)
+	}
+}
+
+// TestGatewayDrain: draining stops gateway admission with the draining
+// envelope and fans out to the backends.
+func TestGatewayDrain(t *testing.T) {
+	b := startBackend(t)
+	g := newTestGateway(t, b.srv.URL)
+	ctx := context.Background()
+
+	if err := g.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Submit(ctx, misSpec(1)); !api.IsCode(err, api.CodeDraining) {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	m, err := api.NewClient(b.srv.URL).Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Draining {
+		t.Fatal("backend did not receive the drain fan-out")
+	}
+}

@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indexes. Each backend owns
+// Replicas virtual points on a 64-bit circle; a key is owned by the
+// backend whose next point clockwise from the key's hash comes first.
+// Virtual points smooth the load split, and consistency is the property
+// the graph cache needs: adding or removing one backend remaps only the
+// keys whose arcs it gains or loses (~1/N of them), so every other
+// backend's LRU graph cache stays hot.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // number of backends
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// newRing builds a ring over n backends identified by ids (typically
+// their URLs), with replicas virtual points each. The ids — not the
+// indexes — are hashed, so the key→backend mapping survives reordering
+// and reconfiguration of the backend list.
+func newRing(ids []string, replicas int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(ids)*replicas), n: len(ids)}
+	for i, id := range ids {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", id, v)), backend: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// hash64 is fnv64a with a murmur-style finalizer: fnv alone leaves the
+// near-identical replica strings ("url#0", "url#1", ...) correlated
+// enough to visibly skew arc lengths; the avalanche mix restores the
+// uniform point placement the balance bound relies on.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// owner returns the backend owning key.
+func (r *ring) owner(key string) int {
+	return r.points[r.search(key)].backend
+}
+
+// sequence returns all backends in ring order starting at key's owner —
+// the failover order: if the owner is down, the next distinct backend on
+// the circle takes the key (and, on the owner's recovery, gives it back).
+func (r *ring) sequence(key string) []int {
+	seq := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	start := r.search(key)
+	for i := 0; len(seq) < r.n; i++ {
+		b := r.points[(start+i)%len(r.points)].backend
+		if !seen[b] {
+			seen[b] = true
+			seq = append(seq, b)
+		}
+	}
+	return seq
+}
+
+// search returns the index of the first point at or clockwise of key's
+// hash, wrapping past the top of the circle.
+func (r *ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return ids
+}
+
+// TestRingDeterminism: two independently built rings over the same ids
+// agree on every key — routing must be a pure function of configuration.
+func TestRingDeterminism(t *testing.T) {
+	a := newRing(ringIDs(4), 128)
+	b := newRing(ringIDs(4), 128)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("graph-key-%d", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %q owned by %d and %d in identical rings", key, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+// TestRingSequence: the failover sequence starts at the owner and visits
+// every backend exactly once.
+func TestRingSequence(t *testing.T) {
+	r := newRing(ringIDs(4), 128)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("graph-key-%d", i)
+		seq := r.sequence(key)
+		if len(seq) != 4 {
+			t.Fatalf("sequence(%q) = %v, want 4 distinct backends", key, seq)
+		}
+		if seq[0] != r.owner(key) {
+			t.Fatalf("sequence(%q) starts at %d, owner is %d", key, seq[0], r.owner(key))
+		}
+		seen := make(map[int]bool)
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("sequence(%q) repeats backend %d: %v", key, b, seq)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// TestRingBalance: with 128 virtual points per backend, 4 backends split
+// many keys within 2x of the even share.
+func TestRingBalance(t *testing.T) {
+	const backends, keys = 4, 20000
+	r := newRing(ringIDs(backends), 128)
+	counts := make([]int, backends)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("gnp/n=%d/m=%d/seed=%d", 1000+i, 4000+i, i))]++
+	}
+	avg := float64(keys) / backends
+	for b, c := range counts {
+		if float64(c) > 2*avg || float64(c) < avg/2 {
+			t.Fatalf("backend %d owns %d of %d keys (avg %.0f, counts %v) — outside the 2x balance bound", b, c, keys, avg, counts)
+		}
+	}
+}
+
+// TestRingRemapOnGrowth: adding a fifth backend to a four-backend ring
+// must remap only around 1/5 of the keys — the consistency property that
+// keeps the surviving backends' graph caches hot through reconfiguration.
+func TestRingRemapOnGrowth(t *testing.T) {
+	const keys = 20000
+	before := newRing(ringIDs(4), 128)
+	after := newRing(ringIDs(5), 128)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("graph-key-%d", i)
+		if before.owner(key) != after.owner(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.3 {
+		t.Fatalf("%.1f%% of keys remapped adding 1 backend to 4; a consistent ring moves ~20%%", 100*frac)
+	}
+	if frac < 0.05 {
+		t.Fatalf("only %.1f%% of keys remapped — the new backend got almost no load", 100*frac)
+	}
+}

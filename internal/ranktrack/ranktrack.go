@@ -1,0 +1,77 @@
+// Package ranktrack measures observed scheduling rank error: a Tracker
+// mirrors the live contents of a (possibly relaxed) queue as a sorted
+// multiset, so each removal's rank among the pending items — the paper's
+// rank error — can be computed exactly.
+//
+// It is the measurement instrument behind relaxd's per-node job rank
+// error and, fed from submission order at the gateway, behind the
+// cluster-wide global rank error: the same statistic at both levels is
+// what lets EXPERIMENTS.md compare a node's MultiQueue relaxation with
+// the relaxation that emerges from sharding jobs across nodes.
+package ranktrack
+
+import (
+	"sort"
+
+	"relaxsched/internal/sched"
+)
+
+// Tracker is a sorted multiset of live items. The zero value is ready to
+// use. Callers synchronize: queue depths are bounded by admission
+// control, so the O(depth) insertion and removal are noise next to the
+// work each item represents.
+type Tracker struct {
+	live []sched.Item // sorted by Item.Less
+}
+
+// Insert adds an item to the live set.
+func (t *Tracker) Insert(it sched.Item) {
+	i := sort.Search(len(t.live), func(i int) bool { return it.Less(t.live[i]) })
+	t.live = append(t.live, sched.Item{})
+	copy(t.live[i+1:], t.live[i:])
+	t.live[i] = it
+}
+
+// Remove deletes it from the multiset and returns its rank (1 = the true
+// minimum) among the items live just before removal. An unknown item
+// returns 0 — the scheduler invented it, which is a bug elsewhere.
+func (t *Tracker) Remove(it sched.Item) int {
+	i := sort.Search(len(t.live), func(i int) bool { return !t.live[i].Less(it) })
+	if i >= len(t.live) || t.live[i] != it {
+		return 0
+	}
+	copy(t.live[i:], t.live[i+1:])
+	t.live = t.live[:len(t.live)-1]
+	return i + 1
+}
+
+// Len reports the number of live items.
+func (t *Tracker) Len() int { return len(t.live) }
+
+// Stats accumulates rank-error observations (rank-1 per removal) into the
+// wire-facing mean/max summary. The zero value is ready to use.
+type Stats struct {
+	Count int64
+	Sum   float64
+	Max   int64
+}
+
+// Observe records one dispatch's rank (as returned by Remove).
+func (s *Stats) Observe(rank int) {
+	if rank < 1 {
+		return
+	}
+	s.Count++
+	s.Sum += float64(rank - 1)
+	if int64(rank-1) > s.Max {
+		s.Max = int64(rank - 1)
+	}
+}
+
+// Mean returns the mean observed rank error (0 with no observations).
+func (s *Stats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

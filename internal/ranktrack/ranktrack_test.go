@@ -1,0 +1,91 @@
+package ranktrack
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"relaxsched/internal/sched"
+)
+
+// TestTrackerRanks: ranks are positions in the sorted live set at removal
+// time, 1-based, with ties broken by task id (Item.Less total order).
+func TestTrackerRanks(t *testing.T) {
+	var tr Tracker
+	items := []sched.Item{
+		{Task: 1, Priority: 50},
+		{Task: 2, Priority: 10},
+		{Task: 3, Priority: 30},
+		{Task: 4, Priority: 10},
+	}
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	// Sorted order: (10,2), (10,4), (30,3), (50,1).
+	if got := tr.Remove(sched.Item{Task: 3, Priority: 30}); got != 3 {
+		t.Fatalf("rank of (30,3) = %d, want 3", got)
+	}
+	if got := tr.Remove(sched.Item{Task: 4, Priority: 10}); got != 2 {
+		t.Fatalf("rank of (10,4) after one removal = %d, want 2", got)
+	}
+	if got := tr.Remove(sched.Item{Task: 2, Priority: 10}); got != 1 {
+		t.Fatalf("rank of (10,2) = %d, want 1", got)
+	}
+	if got := tr.Remove(sched.Item{Task: 1, Priority: 50}); got != 1 {
+		t.Fatalf("rank of the last item = %d, want 1", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after draining = %d", tr.Len())
+	}
+	// Unknown items report rank 0 rather than corrupting the set.
+	if got := tr.Remove(sched.Item{Task: 99, Priority: 1}); got != 0 {
+		t.Fatalf("unknown item rank = %d, want 0", got)
+	}
+}
+
+// TestTrackerAgainstSort cross-checks random workloads against a naive
+// sorted-slice oracle.
+func TestTrackerAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var tr Tracker
+	var oracle []sched.Item
+	for task := int32(0); task < 500; task++ {
+		it := sched.Item{Task: task, Priority: uint32(r.Intn(40))}
+		tr.Insert(it)
+		oracle = append(oracle, it)
+		if r.Intn(3) == 0 && len(oracle) > 0 {
+			victim := oracle[r.Intn(len(oracle))]
+			sort.Slice(oracle, func(i, j int) bool { return oracle[i].Less(oracle[j]) })
+			want := sort.Search(len(oracle), func(i int) bool { return !oracle[i].Less(victim) }) + 1
+			if got := tr.Remove(victim); got != want {
+				t.Fatalf("rank of %+v = %d, oracle says %d", victim, got, want)
+			}
+			for i, it := range oracle {
+				if it == victim {
+					oracle = append(oracle[:i], oracle[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Observe(0) // unknown item: ignored
+	if s.Count != 0 {
+		t.Fatalf("rank 0 counted: %+v", s)
+	}
+	for _, rank := range []int{1, 1, 4, 2} {
+		s.Observe(rank)
+	}
+	if s.Count != 4 || s.Max != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.Mean(); got != 1.0 {
+		t.Fatalf("mean = %v, want 1.0 ((0+0+3+1)/4)", got)
+	}
+}

@@ -7,20 +7,6 @@ import (
 	"relaxsched/internal/graph"
 )
 
-// CacheStats is a snapshot of the graph cache's counters.
-type CacheStats struct {
-	// Entries and Capacity describe current occupancy.
-	Entries  int `json:"entries"`
-	Capacity int `json:"capacity"`
-	// Hits counts lookups served by an existing entry — including waiters
-	// that piggybacked on a build still in flight; Misses counts lookups
-	// that had to initiate a CSR build themselves.
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
-	// Evictions counts entries displaced by the LRU bound.
-	Evictions int64 `json:"evictions"`
-}
-
 // graphCache is a size-bounded LRU cache of built CSR graphs keyed by
 // canonical generator spec (GraphSpec.Key). Concurrent requests for the same
 // key share one build: the loser of the insertion race waits on the winner's
@@ -61,7 +47,7 @@ func newGraphCache(capacity int) *graphCache {
 // cached: the entry is removed so a later identical submit retries.
 func (c *graphCache) Get(spec GraphSpec) (*graph.Graph, bool, error) {
 	if c.capacity == 0 {
-		g, err := spec.Build()
+		g, err := buildGraph(spec)
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
@@ -94,7 +80,7 @@ func (c *graphCache) Get(spec GraphSpec) (*graph.Graph, bool, error) {
 
 	// Build outside the lock; other keys proceed concurrently and same-key
 	// callers wait on ready.
-	e.g, e.err = spec.Build()
+	e.g, e.err = buildGraph(spec)
 	close(e.ready)
 	if e.err != nil {
 		c.mu.Lock()

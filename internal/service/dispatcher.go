@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"errors"
+
+	"relaxsched/internal/api"
+)
+
+// submitRetryAfterMS is the backoff hint attached to queue-full
+// rejections: long enough that a retry has a real chance of finding a
+// freed slot, short enough that closed-loop clients keep the queue warm.
+const submitRetryAfterMS = 100
+
+// Local adapts an in-process Manager to the transport-agnostic
+// api.Dispatcher, mapping the manager's sentinel errors onto the wire
+// error envelope. It is what makes the in-process manager and an
+// api.Client (remote node, or a gateway fronting many) interchangeable
+// behind one interface — the HTTP handler, tests and tools are all
+// written against api.Dispatcher.
+type Local struct {
+	M *Manager
+}
+
+var _ api.Dispatcher = Local{}
+
+// Submit enqueues a job. Admission rejections become envelope errors:
+// queue_full (with a retry hint) and draining.
+func (l Local) Submit(_ context.Context, spec api.JobSpec) (api.JobStatus, error) {
+	st, err := l.M.Submit(spec)
+	switch {
+	case err == nil:
+		return st, nil
+	case errors.Is(err, ErrQueueFull):
+		return api.JobStatus{}, &api.Error{Code: api.CodeQueueFull, Message: err.Error(), RetryAfterMS: submitRetryAfterMS}
+	case errors.Is(err, ErrDraining):
+		return api.JobStatus{}, &api.Error{Code: api.CodeDraining, Message: err.Error()}
+	default:
+		return api.JobStatus{}, api.WrapError(err, api.CodeInvalidRequest)
+	}
+}
+
+// Status reports a job's state; unknown ids become unknown_job (404).
+func (l Local) Status(_ context.Context, id int64) (api.JobStatus, error) {
+	st, err := l.M.Status(id)
+	switch {
+	case err == nil:
+		return st, nil
+	case errors.Is(err, ErrUnknownJob):
+		return api.JobStatus{}, api.WrapError(err, api.CodeUnknownJob)
+	default:
+		return api.JobStatus{}, api.WrapError(err, api.CodeInternal)
+	}
+}
+
+// Workloads lists the registry.
+func (l Local) Workloads(context.Context) ([]api.WorkloadInfo, error) {
+	return Workloads(), nil
+}
+
+// Metrics snapshots the manager's counters.
+func (l Local) Metrics(context.Context) (api.Metrics, error) {
+	return l.M.Metrics(), nil
+}
+
+// Drain stops admission without blocking for the drain (the manager's
+// BeginDrain); the process-level Close still owns waiting for workers.
+func (l Local) Drain(context.Context) error {
+	l.M.BeginDrain()
+	return nil
+}

@@ -5,78 +5,17 @@ import (
 	"testing"
 )
 
-func TestGraphSpecValidate(t *testing.T) {
-	good := []GraphSpec{
-		{N: 10},
-		{Model: ModelGNP, N: 100, Edges: 200, Seed: 5},
-		{Model: ModelPowerLaw, N: 100, Edges: 300, Exponent: 2.5},
-		{Model: ModelPowerLaw, N: 100, Edges: 300}, // exponent defaults
-		{Model: ModelGrid, N: 100},
-		{Model: ModelGrid, N: 7}, // prime: falls back to a path
-	}
-	for _, s := range good {
-		if err := s.Validate(); err != nil {
-			t.Fatalf("%+v rejected: %v", s, err)
-		}
-	}
-	bad := []GraphSpec{
-		{},
-		{N: -1},
-		{Model: "hypercube", N: 10},
-		{Model: ModelGNP, N: 10, Edges: -1},
-		{Model: ModelGNP, N: 3, Edges: 4}, // beyond simple-graph max
-		{Model: ModelPowerLaw, N: 10, Edges: 20, Exponent: 1},
-		{N: MaxGraphVertices + 1},
-		{N: 1000, Edges: MaxGraphEdges + 1},
-		{Model: ModelPowerLaw, N: 1000, Edges: MaxGraphEdges + 1},
-	}
-	for _, s := range bad {
-		if err := s.Validate(); err == nil {
-			t.Fatalf("%+v accepted", s)
-		}
-	}
-}
+// Validate and Key canonicalization tests live with the GraphSpec type in
+// internal/api; this file covers the service-side builder only.
 
-// TestGraphSpecKeyCanonicalization: specs that build the same graph render
-// the same key; specs that differ in any graph-determining field do not.
-func TestGraphSpecKeyCanonicalization(t *testing.T) {
-	if (GraphSpec{N: 10, Edges: 20, Seed: 1}).Key() != (GraphSpec{Model: ModelGNP, N: 10, Edges: 20, Seed: 1}).Key() {
-		t.Fatal("empty model and explicit gnp render different keys")
-	}
-	if (GraphSpec{Model: ModelPowerLaw, N: 10, Edges: 20}).Key() != (GraphSpec{Model: ModelPowerLaw, N: 10, Edges: 20, Exponent: 2.5}).Key() {
-		t.Fatal("default exponent splits the powerlaw key")
-	}
-	// Grid ignores seed, edges and exponent by construction.
-	if (GraphSpec{Model: ModelGrid, N: 100, Seed: 1, Edges: 5}).Key() != (GraphSpec{Model: ModelGrid, N: 100, Seed: 2}).Key() {
-		t.Fatal("grid key depends on ignored fields")
-	}
-	distinct := []GraphSpec{
-		{N: 10, Edges: 20, Seed: 1},
-		{N: 10, Edges: 20, Seed: 2},
-		{N: 10, Edges: 21, Seed: 1},
-		{N: 11, Edges: 20, Seed: 1},
-		{Model: ModelPowerLaw, N: 10, Edges: 20, Seed: 1},
-		{Model: ModelPowerLaw, N: 10, Edges: 20, Seed: 1, Exponent: 3},
-		{Model: ModelGrid, N: 10},
-	}
-	seen := map[string]GraphSpec{}
-	for _, s := range distinct {
-		key := s.Key()
-		if prev, dup := seen[key]; dup {
-			t.Fatalf("%+v and %+v share key %q", prev, s, key)
-		}
-		seen[key] = s
-	}
-}
-
-func TestGraphSpecBuild(t *testing.T) {
+func TestBuildGraph(t *testing.T) {
 	cases := []GraphSpec{
 		{Model: ModelGNP, N: 500, Edges: 2000, Seed: 3},
 		{Model: ModelPowerLaw, N: 500, Edges: 2000, Seed: 3},
 		{Model: ModelGrid, N: 400}, // 20x20
 	}
 	for _, s := range cases {
-		g, err := s.Build()
+		g, err := buildGraph(s)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Key(), err)
 		}
@@ -88,18 +27,18 @@ func TestGraphSpecBuild(t *testing.T) {
 		}
 	}
 	// Same spec, same graph (deterministic generation).
-	a, err := (GraphSpec{N: 300, Edges: 900, Seed: 9}).Build()
+	a, err := buildGraph(GraphSpec{N: 300, Edges: 900, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := (GraphSpec{N: 300, Edges: 900, Seed: 9}).Build()
+	b, err := buildGraph(GraphSpec{N: 300, Edges: 900, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.NumEdges() != b.NumEdges() {
 		t.Fatalf("same spec built %d and %d edges", a.NumEdges(), b.NumEdges())
 	}
-	if _, err := (GraphSpec{Model: "hypercube", N: 8}).Build(); err == nil || !strings.Contains(err.Error(), "unknown graph model") {
+	if _, err := buildGraph(GraphSpec{Model: "hypercube", N: 8}); err == nil || !strings.Contains(err.Error(), "unknown graph model") {
 		t.Fatalf("bad model build error: %v", err)
 	}
 }

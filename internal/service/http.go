@@ -1,101 +1,19 @@
 package service
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
-	"strconv"
 
+	"relaxsched/internal/api"
 	"relaxsched/internal/workload"
 )
 
-// NewHandler returns the service's HTTP API:
-//
-//	POST /jobs         submit a job (JobSpec JSON) -> 202 + JobStatus
-//	GET  /jobs/{id}    poll a job's status/result  -> 200 + JobStatus
-//	GET  /workloads    list the registry           -> 200 + []WorkloadInfo
-//	GET  /metrics      service counters snapshot   -> 200 + Metrics
-//	GET  /healthz      liveness ("ok"/"draining")
-//
-// Admission-control rejections map onto HTTP status codes: a full queue is
-// 429 Too Many Requests, a draining manager is 503 Service Unavailable, and
-// an invalid spec is 400. Errors are returned as {"error": "..."} JSON.
+// NewHandler returns the service's HTTP API: the generic versioned
+// handler (api.NewHandler) serving this manager through the Local
+// dispatcher adapter. Routes, status codes and the error envelope are
+// documented on api.NewHandler; the same handler fronts a gateway, so a
+// client cannot tell one node from a cluster.
 func NewHandler(m *Manager) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
-		spec := defaultJobSpec()
-		// A valid JobSpec is a few hundred bytes; bound the body so one
-		// client cannot grow the daemon's heap with an endless token.
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
-			return
-		}
-		st, err := m.Submit(spec)
-		if err != nil {
-			writeError(w, submitStatusCode(err), err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, st)
-	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid job id %q", r.PathValue("id")))
-			return
-		}
-		st, err := m.Status(id)
-		if err != nil {
-			code := http.StatusInternalServerError
-			if errors.Is(err, ErrUnknownJob) {
-				code = http.StatusNotFound
-			}
-			writeError(w, code, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, st)
-	})
-	mux.HandleFunc("GET /workloads", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, Workloads())
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Metrics())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		m.mu.Lock()
-		draining := m.closed
-		m.mu.Unlock()
-		if draining {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	return mux
-}
-
-// submitStatusCode maps Submit errors onto HTTP statuses.
-func submitStatusCode(err error) int {
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-// WorkloadInfo is one row of the workload-listing endpoint, taken straight
-// from the registry descriptor.
-type WorkloadInfo struct {
-	Name       string `json:"name"`
-	Kind       string `json:"kind"`
-	Brief      string `json:"brief"`
-	Input      string `json:"input"`
-	WastedWork string `json:"wasted_work"`
+	return api.NewHandler(Local{M: m})
 }
 
 // Workloads lists the registered workloads in the registry's deterministic
@@ -113,16 +31,4 @@ func Workloads() []WorkloadInfo {
 		})
 	}
 	return infos
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -5,83 +5,24 @@ import (
 	"math"
 	"time"
 
+	"relaxsched/internal/api"
 	"relaxsched/internal/workload"
 )
 
-// JobState is the lifecycle state of a submitted job.
-type JobState string
-
-const (
-	// StateQueued means the job sits in the manager's scheduler-backed
-	// pending queue.
-	StateQueued JobState = "queued"
-	// StateRunning means a worker is executing the job.
-	StateRunning JobState = "running"
-	// StateDone means the job finished and (if requested) verified.
-	StateDone JobState = "done"
-	// StateFailed means execution or verification returned an error.
-	StateFailed JobState = "failed"
-	// StateCanceled means the job was aborted by a forced shutdown before
-	// it could finish.
-	StateCanceled JobState = "canceled"
-)
-
-// JobSpec is a job submission: which workload to run, in which execution
-// mode, on which (generated) graph, at which queue priority. The field set
-// deliberately mirrors cmd/relaxrun's flags — a job is one relaxrun
-// invocation made resident.
-type JobSpec struct {
-	// Workload is a registry name (mis, coloring, matching, sssp, kcore,
-	// pagerank).
-	Workload string `json:"workload"`
-	// Mode is the execution mode: sequential, relaxed, concurrent, exact.
-	Mode string `json:"mode"`
-	// Graph describes the input graph; it is also the graph-cache key.
-	Graph GraphSpec `json:"graph"`
-	// Priority is the job's queue priority; lower values are scheduled
-	// sooner, exactly like a task priority in internal/sched.
-	Priority uint32 `json:"priority"`
-	// K is the relaxation factor for mode "relaxed" (default 16).
-	K int `json:"k,omitempty"`
-	// Threads is the worker count for modes "concurrent"/"exact" (default
-	// 2).
-	Threads int `json:"threads,omitempty"`
-	// Batch is the executor batch size (0 = executor default).
-	Batch int `json:"batch,omitempty"`
-	// Seed drives the job's derived inputs (permutations, weights) and
-	// relaxed schedulers.
-	Seed uint64 `json:"seed,omitempty"`
-	// Delta is the sssp Δ-stepping bucket width (0 or 1 = exact distances).
-	Delta uint32 `json:"delta,omitempty"`
-	// Damping is the pagerank damping factor (0 selects 0.85).
-	Damping float64 `json:"damping,omitempty"`
-	// Tolerance is the pagerank target L1 error (0 selects 1e-9).
-	Tolerance float64 `json:"tolerance,omitempty"`
-	// Source is the sssp source vertex (-1 = first non-isolated vertex).
-	Source int `json:"source"`
-	// Verify asks the worker to check the output against the workload's
-	// exactness oracle after execution (the default for submissions).
-	Verify bool `json:"verify"`
-}
-
-// defaultJobSpec returns the spec template HTTP submissions are decoded
-// over, making the documented defaults explicit.
+// defaultJobSpec returns the documented spec template; see
+// api.DefaultJobSpec.
 func defaultJobSpec() JobSpec {
-	return JobSpec{
-		Mode:    workload.ModeSequential.String(),
-		K:       16,
-		Threads: 2,
-		Source:  -1,
-		Verify:  true,
-	}
+	return api.DefaultJobSpec()
 }
 
-// Validate checks everything that can be rejected at admission time,
+// validateSpec checks everything that can be rejected at admission time,
 // reusing the same validators the CLIs use (workload.ValidateFlags,
 // workload.ParseMode, registry lookup) so the service and the CLIs agree on
-// what a well-formed request is. Binding-time errors that need the graph
-// (e.g. an sssp source beyond the vertex count) surface when the job runs.
-func (s *JobSpec) Validate() error {
+// what a well-formed request is. The wire type's own GraphSpec.Validate
+// covers the registry-independent half; binding-time errors that need the
+// graph (e.g. an sssp source beyond the vertex count) surface when the job
+// runs.
+func validateSpec(s JobSpec) error {
 	if s.Workload == "" {
 		return fmt.Errorf("workload is required")
 	}
@@ -110,7 +51,7 @@ func (s *JobSpec) Validate() error {
 }
 
 // runConfig maps the spec onto the registry's mode-dispatch config.
-func (s *JobSpec) runConfig() (workload.RunConfig, error) {
+func runConfig(s JobSpec) (workload.RunConfig, error) {
 	mode, err := workload.ParseMode(s.Mode)
 	if err != nil {
 		return workload.RunConfig{}, err
@@ -123,8 +64,8 @@ func (s *JobSpec) runConfig() (workload.RunConfig, error) {
 	}, nil
 }
 
-// params maps the spec onto the registry's workload parameters.
-func (s *JobSpec) params() workload.Params {
+// runParams maps the spec onto the registry's workload parameters.
+func runParams(s JobSpec) workload.Params {
 	return workload.Params{
 		Seed:      s.Seed,
 		Delta:     s.Delta,
@@ -132,46 +73,6 @@ func (s *JobSpec) params() workload.Params {
 		Tolerance: s.Tolerance,
 		Source:    s.Source,
 	}
-}
-
-// JobResult is the outcome of a finished job.
-type JobResult struct {
-	// Summary is the workload's one-line output account ("MIS size: 123").
-	Summary string `json:"summary"`
-	// Verified reports whether the output passed the workload's exactness
-	// oracle (false when the submission asked not to verify).
-	Verified bool `json:"verified"`
-	// Pops, StalePops and Wasted are the execution's work accounting (see
-	// workload.Cost); WastedWorkLabel names what Wasted counts.
-	Pops            int64  `json:"pops"`
-	StalePops       int64  `json:"stale_pops"`
-	Wasted          int64  `json:"wasted"`
-	WastedWorkLabel string `json:"wasted_work_label"`
-	// ExecNanos is the wall-clock execution time (excluding queueing and
-	// graph build/cache lookup).
-	ExecNanos int64 `json:"exec_ns"`
-	// GraphCacheHit reports whether the input graph came from the cache.
-	GraphCacheHit bool `json:"graph_cache_hit"`
-}
-
-// JobStatus is the externally visible state of a job, returned by the
-// status endpoint.
-type JobStatus struct {
-	ID    int64    `json:"id"`
-	State JobState `json:"state"`
-	Spec  JobSpec  `json:"spec"`
-	// Error is set for failed jobs.
-	Error string `json:"error,omitempty"`
-	// Result is set for done jobs.
-	Result *JobResult `json:"result,omitempty"`
-	// QueueRank is the rank (1 = true minimum) this job had among all
-	// pending jobs when the scheduler dispensed it — its observed
-	// scheduling rank error is QueueRank-1. Zero while still queued.
-	QueueRank int `json:"queue_rank,omitempty"`
-	// QueueNanos is the time the job spent queued before dispatch.
-	QueueNanos int64 `json:"queue_ns,omitempty"`
-	// SubmittedAt is the submission wall-clock time.
-	SubmittedAt time.Time `json:"submitted_at"`
 }
 
 // job is the manager's internal record.

@@ -2,7 +2,6 @@ package service
 
 import (
 	"fmt"
-	"sort"
 
 	"relaxsched/internal/rng"
 	"relaxsched/internal/sched"
@@ -106,33 +105,3 @@ func (q *fifoQueue) ApproxGetMin() (sched.Item, bool) {
 
 func (q *fifoQueue) Len() int    { return len(q.items) - q.head }
 func (q *fifoQueue) Empty() bool { return q.Len() == 0 }
-
-// rankTracker mirrors the live contents of the job queue as a sorted
-// multiset of items, so each dispatch's rank among pending jobs — the
-// paper's rank error, at job granularity — can be measured exactly. The
-// queue depth is bounded by admission control, so the O(depth) insertion
-// and removal are noise next to a CSR build.
-type rankTracker struct {
-	live []sched.Item // sorted by Item.Less
-}
-
-func (r *rankTracker) insert(it sched.Item) {
-	i := sort.Search(len(r.live), func(i int) bool { return it.Less(r.live[i]) })
-	r.live = append(r.live, sched.Item{})
-	copy(r.live[i+1:], r.live[i:])
-	r.live[i] = it
-}
-
-// remove deletes it from the multiset and returns its rank (1 = the true
-// minimum) among the items live just before removal.
-func (r *rankTracker) remove(it sched.Item) int {
-	i := sort.Search(len(r.live), func(i int) bool { return !r.live[i].Less(it) })
-	if i >= len(r.live) || r.live[i] != it {
-		return 0 // unknown item; the scheduler invented it (a bug elsewhere)
-	}
-	copy(r.live[i:], r.live[i+1:])
-	r.live = r.live[:len(r.live)-1]
-	return i + 1
-}
-
-func (r *rankTracker) len() int { return len(r.live) }

@@ -3,6 +3,7 @@ package service
 import (
 	"testing"
 
+	"relaxsched/internal/ranktrack"
 	"relaxsched/internal/rng"
 	"relaxsched/internal/sched"
 )
@@ -93,65 +94,28 @@ func TestFIFOQueueBoundedUnderSustainedBacklog(t *testing.T) {
 	}
 }
 
-// TestRankTrackerExactRanks drives the tracker against a known sequence and
-// checks the reported ranks.
-func TestRankTrackerExactRanks(t *testing.T) {
-	var tr rankTracker
-	items := []sched.Item{
-		{Task: 1, Priority: 50},
-		{Task: 2, Priority: 10},
-		{Task: 3, Priority: 30},
-		{Task: 4, Priority: 10}, // ties break by task id: 2 before 4
-	}
-	for _, it := range items {
-		tr.insert(it)
-	}
-	if tr.len() != 4 {
-		t.Fatalf("len = %d", tr.len())
-	}
-	cases := []struct {
-		it   sched.Item
-		rank int
-	}{
-		{sched.Item{Task: 3, Priority: 30}, 3}, // behind 2 and 4
-		{sched.Item{Task: 2, Priority: 10}, 1}, // the true minimum
-		{sched.Item{Task: 1, Priority: 50}, 2}, // behind 4
-		{sched.Item{Task: 4, Priority: 10}, 1},
-	}
-	for _, c := range cases {
-		if got := tr.remove(c.it); got != c.rank {
-			t.Fatalf("remove(%v) rank = %d, want %d", c.it, got, c.rank)
-		}
-	}
-	if tr.len() != 0 {
-		t.Fatalf("tracker not empty: %d", tr.len())
-	}
-	// Removing an unknown item reports rank 0 and changes nothing.
-	if got := tr.remove(sched.Item{Task: 9, Priority: 9}); got != 0 {
-		t.Fatalf("unknown item rank = %d", got)
-	}
-}
-
 // TestRankTrackerAgreesWithExactScheduler: popping an exact heap must
-// always observe rank 1 through the tracker.
+// always observe rank 1 through the tracker, measured exactly as the
+// manager measures it. (The tracker's own unit tests live in
+// internal/ranktrack.)
 func TestRankTrackerAgreesWithExactScheduler(t *testing.T) {
 	s, err := NewJobScheduler(JobSchedExact, 1, 256, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tr rankTracker
+	var tr ranktrack.Tracker
 	r := rng.New(7)
 	for i := 0; i < 200; i++ {
 		it := sched.Item{Task: int32(i), Priority: uint32(r.Intn(50))}
 		s.Insert(it)
-		tr.insert(it)
+		tr.Insert(it)
 	}
 	for {
 		it, ok := s.ApproxGetMin()
 		if !ok {
 			break
 		}
-		if rank := tr.remove(it); rank != 1 {
+		if rank := tr.Remove(it); rank != 1 {
 			t.Fatalf("exact heap dispensed rank %d", rank)
 		}
 	}
@@ -166,21 +130,21 @@ func TestKBoundedJobSchedRankBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tr rankTracker
+	var tr ranktrack.Tracker
 	r := rng.New(11)
 	live := 0
 	for i := 0; i < 500; i++ {
 		if live == 0 || r.Intn(3) != 0 {
 			it := sched.Item{Task: int32(i), Priority: uint32(r.Intn(100))}
 			s.Insert(it)
-			tr.insert(it)
+			tr.Insert(it)
 			live++
 		} else {
 			it, ok := s.ApproxGetMin()
 			if !ok {
 				t.Fatal("pop failed with live items")
 			}
-			if rank := tr.remove(it); rank < 1 || rank > k {
+			if rank := tr.Remove(it); rank < 1 || rank > k {
 				t.Fatalf("kbounded dispensed rank %d, bound %d", rank, k)
 			}
 			live--

@@ -1,16 +1,15 @@
 package service
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"relaxsched/internal/api"
 	"relaxsched/internal/stats"
 )
 
@@ -18,7 +17,8 @@ import (
 // cmd/relaxload and the service smoke tests: Clients goroutines each
 // submit a job, poll until it finishes, and immediately submit the next —
 // the classic closed-loop model, so offered load adapts to service
-// capacity instead of overrunning it.
+// capacity instead of overrunning it. The target may be a single relaxd
+// node or a relaxgw gateway; the wire API is identical.
 type LoadConfig struct {
 	// BaseURL is the service root, e.g. "http://localhost:8080".
 	BaseURL string
@@ -31,12 +31,19 @@ type LoadConfig struct {
 	Workloads []string
 	// Mode is the execution mode every job runs in (default concurrent).
 	Mode string
-	// Threads is the per-job worker count for concurrent/exact modes
+	// Threads is the per-job worker count for modes concurrent/exact
 	// (default 2).
 	Threads int
 	// Graph is the input every job asks for; one spec means the graph
-	// cache should serve every job after the first from memory.
+	// cache should serve every job after the first from memory (and, via
+	// a gateway, that every job lands on the one backend owning the key).
 	Graph GraphSpec
+	// GraphSeeds > 1 cycles job i's generator seed over [Graph.Seed,
+	// Graph.Seed+GraphSeeds), spreading the run across that many distinct
+	// graph keys — through a gateway, across that many ring positions —
+	// while each seed still repeats often enough to exercise the caches
+	// (default 1: every job shares one graph).
+	GraphSeeds int
 	// PrioritySpread makes job i carry priority (i*7919)%PrioritySpread,
 	// giving the job queue a non-trivial priority distribution to relax
 	// against (default 100; 1 makes every job equal-priority).
@@ -46,7 +53,8 @@ type LoadConfig struct {
 	// Verify asks each job to run its exactness oracle (default true —
 	// set by callers; the zero value disables verification).
 	Verify bool
-	// HTTPClient overrides the HTTP client (default http.DefaultClient).
+	// HTTPClient overrides the typed client's underlying *http.Client
+	// (default: the api package's shared timed client).
 	HTTPClient *http.Client
 }
 
@@ -74,13 +82,23 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.PrioritySpread == 0 {
 		c.PrioritySpread = 100
 	}
+	if c.GraphSeeds == 0 {
+		c.GraphSeeds = 1
+	}
 	if c.PollInterval == 0 {
 		c.PollInterval = 2 * time.Millisecond
 	}
-	if c.HTTPClient == nil {
-		c.HTTPClient = http.DefaultClient
-	}
 	return c
+}
+
+// client builds the typed API client the whole run shares — one
+// http.Client (with timeouts) under every closed-loop goroutine.
+func (c LoadConfig) client() *api.Client {
+	cli := api.NewClient(strings.TrimRight(c.BaseURL, "/"))
+	if c.HTTPClient != nil {
+		cli.HTTP = c.HTTPClient
+	}
+	return cli
 }
 
 // LoadResult is the outcome of one load run.
@@ -97,9 +115,10 @@ type LoadResult struct {
 	// Latency summarizes the client-observed submit→done latency in
 	// seconds.
 	Latency stats.Summary
-	// Metrics is the service's /metrics snapshot taken after the run,
+	// Metrics is the service's /v1/metrics snapshot taken after the run,
 	// carrying the server-side view: rank error, queue latency, cache
-	// hit rate.
+	// hit rate. Against a gateway this is the cluster-wide aggregate
+	// (global rank error, summed cache counters).
 	Metrics Metrics
 }
 
@@ -124,13 +143,15 @@ func (r LoadResult) Format() string {
 
 // RunLoad drives the service at cfg.BaseURL with a closed-loop client fleet
 // until cfg.Jobs jobs completed (done, failed or canceled). Submission
-// rejections (queue full) are counted and retried after a poll interval —
-// closed-loop clients back off rather than drop work.
+// rejections (queue full, draining) are counted and retried — closed-loop
+// clients back off rather than drop work, honoring the server's
+// retry_after_ms hint when the envelope carries one.
 func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.BaseURL == "" {
 		return LoadResult{}, fmt.Errorf("loadgen: BaseURL is required")
 	}
+	cli := cfg.client()
 
 	var (
 		mu        sync.Mutex
@@ -151,7 +172,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				lat, state, rejected, err := runOneJob(ctx, cfg, i)
+				lat, state, rejected, err := runOneJob(ctx, cli, cfg, i)
 				mu.Lock()
 				res.Rejected += rejected
 				if err != nil {
@@ -182,7 +203,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	// The server-side snapshot is half the report; an all-zero Metrics from
 	// a swallowed fetch error would be indistinguishable from a real
 	// measurement, so the failure is surfaced.
-	m, err := FetchMetrics(ctx, cfg.HTTPClient, cfg.BaseURL)
+	m, err := cli.Metrics(ctx)
 	if err != nil {
 		return res, fmt.Errorf("loadgen: fetching final metrics: %w", err)
 	}
@@ -190,21 +211,19 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	return res, nil
 }
 
-// runOneJob submits job i (retrying admission rejections) and polls it to
-// completion, returning the client-observed latency and final state.
-func runOneJob(ctx context.Context, cfg LoadConfig, i int) (time.Duration, JobState, int, error) {
+// runOneJob submits job i (retrying admission rejections with the
+// server-suggested backoff) and polls it to completion, returning the
+// client-observed latency and final state.
+func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (time.Duration, JobState, int, error) {
 	spec := defaultJobSpec()
 	spec.Workload = cfg.Workloads[i%len(cfg.Workloads)]
 	spec.Mode = cfg.Mode
 	spec.Threads = cfg.Threads
 	spec.Graph = cfg.Graph
+	spec.Graph.Seed = cfg.Graph.Seed + uint64(i%cfg.GraphSeeds)
 	spec.Priority = uint32((i * 7919) % cfg.PrioritySpread)
 	spec.Seed = uint64(i + 1)
 	spec.Verify = cfg.Verify
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return 0, "", 0, err
-	}
 
 	rejected := 0
 	start := time.Now()
@@ -213,35 +232,23 @@ func runOneJob(ctx context.Context, cfg LoadConfig, i int) (time.Duration, JobSt
 		if err := ctx.Err(); err != nil {
 			return 0, "", rejected, err
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/jobs", bytes.NewReader(body))
+		st, err := cli.Submit(ctx, spec)
 		if err != nil {
-			return 0, "", rejected, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := cfg.HTTPClient.Do(req)
-		if err != nil {
-			return 0, "", rejected, err
-		}
-		payload, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return 0, "", rejected, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-			rejected++
-			select {
-			case <-ctx.Done():
-				return 0, "", rejected, ctx.Err()
-			case <-time.After(cfg.PollInterval):
+			if api.IsCode(err, api.CodeQueueFull) || api.IsCode(err, api.CodeDraining) {
+				rejected++
+				wait := cfg.PollInterval
+				var e *api.Error
+				if errors.As(err, &e) && e.RetryAfterMS > 0 {
+					wait = time.Duration(e.RetryAfterMS) * time.Millisecond
+				}
+				select {
+				case <-ctx.Done():
+					return 0, "", rejected, ctx.Err()
+				case <-time.After(wait):
+				}
+				continue
 			}
-			continue
-		}
-		if resp.StatusCode != http.StatusAccepted {
-			return 0, "", rejected, fmt.Errorf("loadgen: submit returned %s: %s", resp.Status, payload)
-		}
-		var st JobStatus
-		if err := json.Unmarshal(payload, &st); err != nil {
-			return 0, "", rejected, fmt.Errorf("loadgen: decoding submit response: %w", err)
+			return 0, "", rejected, fmt.Errorf("loadgen: submit: %w", err)
 		}
 		id = st.ID
 		break
@@ -253,9 +260,9 @@ func runOneJob(ctx context.Context, cfg LoadConfig, i int) (time.Duration, JobSt
 			return 0, "", rejected, ctx.Err()
 		case <-time.After(cfg.PollInterval):
 		}
-		st, err := fetchStatus(ctx, cfg.HTTPClient, cfg.BaseURL, id)
+		st, err := cli.Status(ctx, id)
 		if err != nil {
-			return 0, "", rejected, err
+			return 0, "", rejected, fmt.Errorf("loadgen: status: %w", err)
 		}
 		switch st.State {
 		case StateDone, StateFailed, StateCanceled:
@@ -264,49 +271,17 @@ func runOneJob(ctx context.Context, cfg LoadConfig, i int) (time.Duration, JobSt
 	}
 }
 
-// fetchStatus GETs one job's status.
-func fetchStatus(ctx context.Context, client *http.Client, baseURL string, id int64) (JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/jobs/%d", baseURL, id), nil)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		payload, _ := io.ReadAll(resp.Body)
-		return JobStatus{}, fmt.Errorf("loadgen: status returned %s: %s", resp.Status, payload)
-	}
-	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return JobStatus{}, err
-	}
-	return st, nil
-}
-
-// FetchMetrics GETs and decodes the service's /metrics snapshot.
+// FetchMetrics GETs and decodes a service's /v1/metrics snapshot through
+// the typed client. client overrides the underlying *http.Client when
+// non-nil.
 func FetchMetrics(ctx context.Context, client *http.Client, baseURL string) (Metrics, error) {
-	if client == nil {
-		client = http.DefaultClient
+	c := api.NewClient(strings.TrimRight(baseURL, "/"))
+	if client != nil {
+		c.HTTP = client
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	m, err := c.Metrics(ctx)
 	if err != nil {
-		return Metrics{}, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return Metrics{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		payload, _ := io.ReadAll(resp.Body)
-		return Metrics{}, fmt.Errorf("loadgen: metrics returned %s: %s", resp.Status, payload)
-	}
-	var m Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return Metrics{}, err
+		return Metrics{}, fmt.Errorf("loadgen: fetching metrics: %w", err)
 	}
 	return m, nil
 }

@@ -7,7 +7,8 @@ import (
 // latencyRing accumulates latency samples: exact running count/mean/max
 // plus a bounded ring of recent samples for percentile estimation, so a
 // long-lived service never grows its metrics storage. Callers synchronize
-// (the manager records under its mutex).
+// (the manager records under its mutex). The wire-facing summary type
+// lives in internal/api.
 type latencyRing struct {
 	acc  stats.Accumulator
 	ring []float64 // seconds; len grows to cap then wraps
@@ -48,75 +49,4 @@ func (l *latencyRing) summary() LatencySummary {
 		s.P50Ms, s.P95Ms, s.P99Ms = p50*1e3, p95*1e3, p99*1e3
 	}
 	return s
-}
-
-// LatencySummary summarizes a latency distribution in milliseconds. Count,
-// mean and max are exact over the service lifetime; the percentiles are
-// computed over a sliding window of the most recent samples.
-type LatencySummary struct {
-	Count  int64   `json:"count"`
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P95Ms  float64 `json:"p95_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
-}
-
-// RankErrorStats summarizes the observed per-job scheduling rank error —
-// the number of pending jobs that were strictly better (lower priority
-// value) than the one the job queue dispensed, the paper's rank error
-// measured at job granularity. An exact job scheduler reports all zeros.
-type RankErrorStats struct {
-	Count int64   `json:"count"`
-	Mean  float64 `json:"mean"`
-	Max   int64   `json:"max"`
-}
-
-// JobCounts breaks the jobs the service has seen down by outcome. Queued
-// and Running are instantaneous gauges; the rest are lifetime counters.
-type JobCounts struct {
-	Submitted int64 `json:"submitted"`
-	Queued    int64 `json:"queued"`
-	Running   int64 `json:"running"`
-	Done      int64 `json:"done"`
-	Failed    int64 `json:"failed"`
-	Canceled  int64 `json:"canceled"`
-	// Rejected counts submissions refused by admission control (queue full
-	// or draining); they never became jobs.
-	Rejected int64 `json:"rejected"`
-}
-
-// CostTotals accumulates the work accounting of every finished job.
-type CostTotals struct {
-	Pops      int64 `json:"pops"`
-	StalePops int64 `json:"stale_pops"`
-	// Wasted sums each workload's headline wasted-work metric (extra
-	// iterations, stale pops, re-evaluations — see the registry's
-	// WastedWork labels).
-	Wasted int64 `json:"wasted"`
-}
-
-// Metrics is the /metrics snapshot.
-type Metrics struct {
-	// UptimeSeconds is the time since the manager started.
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	// JobSched and JobSchedK identify the scheduler the pending-job queue
-	// runs on; Workers and QueueCapacity are the pool size and admission
-	// bound.
-	JobSched      string `json:"job_sched"`
-	JobSchedK     int    `json:"job_sched_k"`
-	Workers       int    `json:"workers"`
-	QueueCapacity int    `json:"queue_capacity"`
-	// Draining reports whether the manager has stopped accepting jobs.
-	Draining bool `json:"draining"`
-
-	Jobs  JobCounts  `json:"jobs"`
-	Cache CacheStats `json:"cache"`
-	Cost  CostTotals `json:"cost"`
-	// RankError is the job queue's observed relaxation.
-	RankError RankErrorStats `json:"rank_error"`
-	// QueueLatency measures submit→dispatch; ExecLatency measures the
-	// execution itself (excluding queueing and graph build).
-	QueueLatency LatencySummary `json:"queue_latency"`
-	ExecLatency  LatencySummary `json:"exec_latency"`
 }

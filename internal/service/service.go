@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"relaxsched/internal/core"
+	"relaxsched/internal/ranktrack"
 	"relaxsched/internal/sched"
 	"relaxsched/internal/workload"
 )
@@ -109,22 +110,20 @@ type Manager struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   sched.Scheduler
-	tracker rankTracker
+	tracker ranktrack.Tracker
 	jobs    map[int64]*job
 	// finished is the FIFO of finished job ids backing the retention bound.
-	finished  []int64
-	nextID    int64
-	pending   int
-	running   int
-	counts    JobCounts
-	cost      CostTotals
-	rankCount int64
-	rankSum   float64
-	rankMax   int64
-	queueLat  latencyRing
-	execLat   latencyRing
-	closed    bool // no new submissions; workers drain the queue
-	aborted   bool // forced: workers stop popping
+	finished []int64
+	nextID   int64
+	pending  int
+	running  int
+	counts   JobCounts
+	cost     CostTotals
+	rank     ranktrack.Stats
+	queueLat latencyRing
+	execLat  latencyRing
+	closed   bool // no new submissions; workers drain the queue
+	aborted  bool // forced: workers stop popping
 }
 
 // NewManager validates the options, builds the job scheduler and starts the
@@ -171,7 +170,7 @@ func NewManager(opts Options) (*Manager, error) {
 // ErrQueueFull when the pending queue is at its bound and ErrDraining after
 // Close has begun; both leave no trace beyond the rejection counter.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
-	if err := spec.Validate(); err != nil {
+	if err := validateSpec(spec); err != nil {
 		return JobStatus{}, err
 	}
 	m.mu.Lock()
@@ -200,7 +199,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.jobs[j.id] = j
 	it := sched.Item{Task: int32(j.id), Priority: spec.Priority}
 	m.queue.Insert(it)
-	m.tracker.insert(it)
+	m.tracker.Insert(it)
 	m.pending++
 	m.counts.Submitted++
 	m.cond.Signal()
@@ -226,10 +225,7 @@ func (m *Manager) Metrics() Metrics {
 	counts := m.counts
 	counts.Queued = int64(m.pending)
 	counts.Running = int64(m.running)
-	re := RankErrorStats{Count: m.rankCount, Max: m.rankMax}
-	if m.rankCount > 0 {
-		re.Mean = m.rankSum / float64(m.rankCount)
-	}
+	re := RankErrorStats{Count: m.rank.Count, Mean: m.rank.Mean(), Max: m.rank.Max}
 	return Metrics{
 		UptimeSeconds: time.Since(m.started).Seconds(),
 		JobSched:      m.opts.JobSched,
@@ -294,7 +290,7 @@ func (m *Manager) Close(ctx context.Context) error {
 		if !ok {
 			break
 		}
-		m.tracker.remove(it)
+		m.tracker.Remove(it)
 		m.pending--
 		if j := m.jobs[int64(it.Task)]; j != nil && j.state == StateQueued {
 			j.state = StateCanceled
@@ -327,18 +323,14 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 			return
 		}
-		rank := m.tracker.remove(it)
+		rank := m.tracker.Remove(it)
 		m.pending--
 		j := m.jobs[int64(it.Task)]
 		j.state = StateRunning
 		j.queueRank = rank
 		j.queueTime = time.Since(j.submitted)
 		m.running++
-		m.rankCount++
-		m.rankSum += float64(rank - 1)
-		if int64(rank-1) > m.rankMax {
-			m.rankMax = int64(rank - 1)
-		}
+		m.rank.Observe(rank)
 		m.queueLat.add(j.queueTime.Seconds())
 		m.mu.Unlock()
 
@@ -360,12 +352,12 @@ func (m *Manager) execute(j *job) {
 		m.finish(j, nil, err, 0)
 		return
 	}
-	cfg, err := j.spec.runConfig()
+	cfg, err := runConfig(j.spec)
 	if err != nil {
 		m.finish(j, nil, err, 0)
 		return
 	}
-	res, err := d.RunModeContext(m.runCtx, g, cfg, j.spec.params())
+	res, err := d.RunModeContext(m.runCtx, g, cfg, runParams(j.spec))
 	if err != nil {
 		m.finish(j, nil, err, 0)
 		return

@@ -1,0 +1,52 @@
+package service
+
+import "relaxsched/internal/api"
+
+// The wire types this package defined before the v1 API redesign now live
+// in internal/api, shared verbatim by relaxd, relaxload and the relaxgw
+// gateway. The aliases below keep in-process callers source-compatible;
+// new code should import internal/api directly.
+type (
+	// JobState is the lifecycle state of a submitted job.
+	JobState = api.JobState
+	// JobSpec is a job submission; see api.JobSpec.
+	JobSpec = api.JobSpec
+	// JobResult is the outcome of a finished job.
+	JobResult = api.JobResult
+	// JobStatus is the externally visible state of a job.
+	JobStatus = api.JobStatus
+	// GraphSpec is the canonical description of a generated input graph.
+	GraphSpec = api.GraphSpec
+	// WorkloadInfo is one row of the workload-listing endpoint.
+	WorkloadInfo = api.WorkloadInfo
+	// Metrics is the GET /v1/metrics snapshot.
+	Metrics = api.Metrics
+	// JobCounts breaks jobs down by outcome.
+	JobCounts = api.JobCounts
+	// CacheStats is a snapshot of the graph cache's counters.
+	CacheStats = api.CacheStats
+	// CostTotals accumulates the work accounting of finished jobs.
+	CostTotals = api.CostTotals
+	// RankErrorStats summarizes observed job rank error.
+	RankErrorStats = api.RankErrorStats
+	// LatencySummary summarizes a latency distribution in milliseconds.
+	LatencySummary = api.LatencySummary
+)
+
+// Job lifecycle states; see the api.State* constants.
+const (
+	StateQueued   = api.StateQueued
+	StateRunning  = api.StateRunning
+	StateDone     = api.StateDone
+	StateFailed   = api.StateFailed
+	StateCanceled = api.StateCanceled
+)
+
+// Graph generator models and per-job size bounds; see internal/api.
+const (
+	ModelGNP         = api.ModelGNP
+	ModelPowerLaw    = api.ModelPowerLaw
+	ModelGrid        = api.ModelGrid
+	MaxGraphVertices = api.MaxGraphVertices
+	MaxGraphEdges    = api.MaxGraphEdges
+)
