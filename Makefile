@@ -20,6 +20,7 @@ race:
 		./internal/algos/sssp/... ./internal/algos/kcore/... \
 		./internal/algos/pagerank/... ./internal/workload/... \
 		./internal/api/... ./internal/ranktrack/... \
+		./internal/control/... \
 		./internal/service/... ./cmd/relaxd/... \
 		./internal/gateway/... ./cmd/relaxgw/... \
 		./internal/integration/...
@@ -59,7 +60,7 @@ bench-smoke:
 		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
 
 # Run the relaxd job service locally on the default port. Submit with e.g.
-#   curl -s localhost:8080/jobs -d '{"workload":"mis","mode":"concurrent",
+#   curl -s localhost:8080/v1/jobs -d '{"workload":"mis","mode":"concurrent",
 #     "graph":{"n":100000,"edges":1000000,"seed":7}}'
 serve:
 	$(GO) run ./cmd/relaxd
@@ -122,11 +123,13 @@ lint: vet
 
 # Documentation build check: go vet plus rendering every package's godoc
 # (including the runnable Example functions, which `go test` executes and
-# diff-checks against their Output comments).
+# diff-checks against their Output comments), plus a dead-link check over
+# every tracked markdown file.
 doc: vet
 	@for pkg in $$($(GO) list -f '{{if .GoFiles}}{{.ImportPath}}{{end}}' ./...); do \
 		$(GO) doc -all $$pkg >/dev/null || exit 1; \
 	done
-	$(GO) test -run '^Example' ./internal/core/ ./internal/workload/
+	$(GO) test -run '^Example' ./internal/core/ ./internal/workload/ ./internal/control/
+	./scripts/check-md-links.sh
 
 check: fmt-check lint doc build test race

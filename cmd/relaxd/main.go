@@ -4,19 +4,24 @@
 //
 // Its pending-job queue is itself an internal/sched scheduler — selectable
 // with -jobsched between the exact heap, the MultiQueue, the deterministic
-// k-bounded queue and a priority-blind FIFO — so the paper's
-// relaxation-versus-throughput trade is applied, and measured, at job
-// granularity: every dispatch records the job's rank error and queue
-// latency, reported by GET /metrics. Repeated jobs on the same generator
-// spec share one CSR build through the graph cache.
+// k-bounded queue, a priority-blind FIFO, and the adaptive "auto" mode — so
+// the paper's relaxation-versus-throughput trade is applied, and measured,
+// at job granularity: every dispatch records the job's rank error and queue
+// latency, reported by GET /v1/metrics. Under -jobsched auto a feedback
+// controller (internal/control) retunes the relaxation online: it widens the
+// dispatch bound and executor batches under queue pressure and tightens
+// toward exact when the observed rank error breaches -rank-slo. Repeated
+// jobs on the same generator spec share one CSR build through the graph
+// cache.
 //
-// API (see internal/service):
+// API (see internal/api):
 //
-//	POST /jobs         submit  {"workload":"mis","mode":"concurrent","graph":{"n":100000,"edges":1000000,"seed":7},"priority":10}
-//	GET  /jobs/{id}    status/result
-//	GET  /workloads    registry listing
-//	GET  /metrics      jobs by state, queue depth, cache hits, wasted work, rank error
-//	GET  /healthz      liveness
+//	POST /v1/jobs         submit  {"workload":"mis","mode":"concurrent","graph":{"n":100000,"edges":1000000,"seed":7},"priority":10}
+//	GET  /v1/jobs/{id}    status/result
+//	GET  /v1/workloads    registry listing
+//	GET  /v1/metrics      jobs by state, queue depth, cache hits, wasted work, rank error, controller state
+//	POST /v1/drain        stop admission
+//	GET  /healthz         liveness
 //
 // SIGINT/SIGTERM drain gracefully: HTTP stays up through the drain — new
 // submissions get 503 while status polls keep working — and queued and
@@ -54,7 +59,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("relaxd", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
-		jobsched   = fs.String("jobsched", service.JobSchedMultiQueue, "job-queue scheduler: exact, multiqueue, kbounded, fifo")
+		jobsched   = fs.String("jobsched", service.JobSchedMultiQueue, "job-queue scheduler: exact, multiqueue, kbounded, fifo, auto")
 		jobschedK  = fs.Int("jobsched-k", 4, "relaxation factor for -jobsched multiqueue/kbounded")
 		workers    = fs.Int("workers", 2, "job worker goroutines")
 		queueDepth = fs.Int("queue-depth", 256, "admission bound on queued jobs (beyond it: 429)")
@@ -62,18 +67,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		seed       = fs.Uint64("seed", 1, "seed for the relaxed job schedulers")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "grace period for finishing jobs on shutdown")
 		retain     = fs.Int("retain", 65536, "finished jobs kept queryable (oldest forgotten first)")
+		rankSLO    = fs.Float64("rank-slo", 2, "-jobsched auto: bound on windowed mean job rank error")
+		p99SLO     = fs.Duration("p99-slo", 5*time.Second, "-jobsched auto: p99 queue-latency target")
+		ctrlEvery  = fs.Duration("control-interval", 250*time.Millisecond, "-jobsched auto: controller sampling period")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mgr, err := service.NewManager(service.Options{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		JobSched:      *jobsched,
-		JobSchedK:     *jobschedK,
-		CacheCapacity: *cacheCap,
-		Seed:          *seed,
-		RetainJobs:    *retain,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		JobSched:        *jobsched,
+		JobSchedK:       *jobschedK,
+		CacheCapacity:   *cacheCap,
+		Seed:            *seed,
+		RetainJobs:      *retain,
+		RankSLO:         *rankSLO,
+		P99SLO:          *p99SLO,
+		ControlInterval: *ctrlEvery,
 	})
 	if err != nil {
 		return err
@@ -88,6 +99,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "relaxd: listening on http://%s (jobsched=%s k=%d workers=%d queue-depth=%d cache=%d)\n",
 		ln.Addr(), *jobsched, *jobschedK, *workers, *queueDepth, *cacheCap)
+	if *jobsched == service.JobSchedAuto {
+		fmt.Fprintf(out, "relaxd: adaptive relaxation on (rank-slo=%g p99-slo=%v control-interval=%v)\n",
+			*rankSLO, *p99SLO, *ctrlEvery)
+	}
 
 	srv := &http.Server{Handler: service.NewHandler(mgr)}
 	serveErr := make(chan error, 1)

@@ -64,7 +64,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 
 	body := `{"workload":"mis","mode":"sequential","graph":{"n":500,"edges":2000,"seed":3}}`
-	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestRunServesAndDrains(t *testing.T) {
 		t.Fatalf("submit: id=%d err=%v", st.ID, err)
 	}
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, st.ID))
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, st.ID))
 		if err != nil {
 			t.Fatal(err)
 		}

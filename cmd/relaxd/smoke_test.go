@@ -70,7 +70,7 @@ func TestServeSmokeBinary(t *testing.T) {
 
 	submit := func(body string) int64 {
 		t.Helper()
-		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +91,7 @@ func TestServeSmokeBinary(t *testing.T) {
 		t.Helper()
 		deadline := time.Now().Add(60 * time.Second)
 		for time.Now().Before(deadline) {
-			resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+			resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +130,7 @@ func TestServeSmokeBinary(t *testing.T) {
 	if result, ok := again["result"].(map[string]any); !ok || result["graph_cache_hit"] != true {
 		t.Fatalf("repeat submit missed the graph cache: %v", again)
 	}
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

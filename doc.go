@@ -23,9 +23,12 @@
 //
 // On the serving path, internal/service and cmd/relaxd expose the registry
 // as a long-running job service: the pending-job queue is itself an
-// internal/sched scheduler (exact, MultiQueue, k-bounded or FIFO), with
-// per-job rank error and queue latency measured, a graph cache keyed by
-// canonical generator spec, bounded admission and graceful drain. The wire
+// internal/sched scheduler (exact, MultiQueue, k-bounded, FIFO — or auto,
+// where the internal/control feedback controller retunes the queue's rank
+// bound and the executors' batch size online against operator rank-error
+// and p99-latency SLOs), with per-job rank error and queue latency
+// measured, a graph cache keyed by canonical generator spec, bounded
+// admission and graceful drain. The wire
 // contract lives in internal/api — the transport-agnostic Dispatcher
 // interface, the wire types, the JSON error envelope, a typed client and
 // the versioned /v1 HTTP handler — shared by the daemon, the tools and

@@ -20,6 +20,8 @@ type fakeDispatcher struct {
 	draining bool
 	// submitErr, when set, is returned by Submit verbatim.
 	submitErr error
+	// metrics, when set, is returned by Metrics (with Draining overlaid).
+	metrics *Metrics
 }
 
 func newFakeDispatcher() *fakeDispatcher {
@@ -55,6 +57,11 @@ func (f *fakeDispatcher) Workloads(context.Context) ([]WorkloadInfo, error) {
 }
 
 func (f *fakeDispatcher) Metrics(context.Context) (Metrics, error) {
+	if f.metrics != nil {
+		m := *f.metrics
+		m.Draining = f.draining
+		return m, nil
+	}
 	return Metrics{JobSched: "exact", Draining: f.draining}, nil
 }
 
@@ -125,8 +132,75 @@ func TestClientHandlerRoundTrip(t *testing.T) {
 	}
 }
 
+// TestControllerMetricsRoundTrip: the adaptive-controller section of
+// Metrics survives the handler→client wire round trip field by field, is
+// keyed "controller" in the raw JSON, and is omitted entirely for nodes on
+// static schedulers (nil Controller).
+func TestControllerMetricsRoundTrip(t *testing.T) {
+	d := newFakeDispatcher()
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	want := ControllerStats{
+		Enabled:        true,
+		K:              6,
+		Batch:          48,
+		RankSLO:        2.5,
+		P99SLOMs:       750,
+		Steps:          1234,
+		Widened:        17,
+		Tightened:      3,
+		RankViolations: 4,
+		P99Violations:  21,
+		LastAdjustment: "widen: queue p99 900ms > SLO 750ms; k=6 batch=48",
+	}
+	d.metrics = &Metrics{JobSched: "auto", Controller: &want}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Controller == nil {
+		t.Fatal("controller section dropped over the wire")
+	}
+	if *m.Controller != want {
+		t.Fatalf("controller round trip:\ngot  %+v\nwant %+v", *m.Controller, want)
+	}
+
+	resp, raw := get(t, srv.URL+"/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %s %s", resp.Status, raw)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, ok := body["controller"].(map[string]any)
+	if !ok {
+		t.Fatalf("no controller key in %s", raw)
+	}
+	if ctrl["k"] != float64(6) || ctrl["batch"] != float64(48) || ctrl["last_adjustment"] != want.LastAdjustment {
+		t.Fatalf("controller JSON = %v", ctrl)
+	}
+
+	// Static nodes carry no controller key at all (omitempty on a nil
+	// pointer), so scrapers can distinguish "disabled" from "all zero".
+	d.metrics = &Metrics{JobSched: "exact"}
+	_, raw = get(t, srv.URL+"/v1/metrics")
+	body = nil // Unmarshal into a reused map merges keys; start fresh.
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := body["controller"]; present {
+		t.Fatalf("static node leaked a controller section: %s", raw)
+	}
+}
+
 // TestErrorEnvelopeOverTheWire: codes, retry hints and HTTP statuses
-// survive the handler→client round trip, including the legacy alias field.
+// survive the handler→client round trip; the removed legacy alias field
+// must stay gone.
 func TestErrorEnvelopeOverTheWire(t *testing.T) {
 	d := newFakeDispatcher()
 	srv := httptest.NewServer(NewHandler(d))
@@ -148,8 +222,9 @@ func TestErrorEnvelopeOverTheWire(t *testing.T) {
 		t.Fatalf("queue-full error = %v", err)
 	}
 
-	// The raw wire body carries code, message, retry hint, the legacy
-	// "error" alias, and the Retry-After header.
+	// The raw wire body carries code, message, the retry hint and the
+	// Retry-After header — and nothing else: the deprecated legacy "error"
+	// mirror is gone.
 	resp, raw := post(t, srv.URL+"/v1/jobs", `{"workload":"mis"}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %s", resp.Status)
@@ -164,8 +239,8 @@ func TestErrorEnvelopeOverTheWire(t *testing.T) {
 	if body["code"] != "queue_full" || body["retry_after_ms"] != float64(250) {
 		t.Fatalf("envelope = %s", raw)
 	}
-	if body["error"] != body["message"] {
-		t.Fatalf("legacy error field does not mirror message: %s", raw)
+	if _, present := body["error"]; present {
+		t.Fatalf("removed legacy error field still on the wire: %s", raw)
 	}
 
 	// Non-envelope upstream bodies are coerced by the client, not dropped.
@@ -212,25 +287,36 @@ func TestHandlerRequestValidation(t *testing.T) {
 	}
 }
 
-// TestUnversionedAliases: the pre-versioning paths serve the same handlers
-// during the deprecation window.
-func TestUnversionedAliases(t *testing.T) {
+// TestUnversionedAliasesRemoved: the pre-versioning paths were deprecated
+// aliases for one release after the /v1 cutover and are now gone — only the
+// /v1 routes (and unversioned /healthz) resolve.
+func TestUnversionedAliasesRemoved(t *testing.T) {
 	d := newFakeDispatcher()
 	srv := httptest.NewServer(NewHandler(d))
 	defer srv.Close()
 
-	resp, raw := post(t, srv.URL+"/jobs", `{"workload":"mis"}`)
+	resp, raw := post(t, srv.URL+"/v1/jobs", `{"workload":"mis"}`)
 	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("legacy submit: %s %s", resp.Status, raw)
+		t.Fatalf("submit: %s %s", resp.Status, raw)
 	}
 	var st JobStatus
 	if err := json.Unmarshal(raw, &st); err != nil || st.ID != 1 {
-		t.Fatalf("legacy submit body: %s", raw)
+		t.Fatalf("submit body: %s", raw)
 	}
-	for _, path := range []string{"/jobs/1", "/workloads", "/metrics", "/v1/jobs/1", "/v1/workloads", "/v1/metrics"} {
+	for _, path := range []string{"/v1/jobs/1", "/v1/workloads", "/v1/metrics"} {
 		resp, raw := get(t, srv.URL+path)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: %s %s", path, resp.Status, raw)
+		}
+	}
+	resp, raw = post(t, srv.URL+"/jobs", `{"workload":"mis"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy POST /jobs: %s %s, want 404", resp.Status, raw)
+	}
+	for _, path := range []string{"/jobs/1", "/workloads", "/metrics"} {
+		resp, raw := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("legacy GET %s: %s %s, want 404", path, resp.Status, raw)
 		}
 	}
 }

@@ -144,14 +144,10 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, wa
 	if resp.StatusCode != want {
 		payload, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
 		var e Error
-		if json.Unmarshal(payload, &e) == nil && (e.Code != "" || e.Message != "" || e.LegacyError != "") {
-			if e.Message == "" {
-				e.Message = e.LegacyError
-			}
+		if json.Unmarshal(payload, &e) == nil && (e.Code != "" || e.Message != "") {
 			if e.Code == "" {
 				e.Code = codeForStatus(resp.StatusCode)
 			}
-			e.LegacyError = ""
 			return &e
 		}
 		return &Error{

@@ -36,10 +36,12 @@ const (
 // Error is the uniform wire error envelope, serialized as the whole body
 // of every non-2xx response:
 //
-//	{"code":"queue_full","message":"service: job queue full","retry_after_ms":100,"error":"..."}
+//	{"code":"queue_full","message":"service: job queue full","retry_after_ms":100}
 //
 // It implements error, so Dispatcher implementations return it directly
-// and HTTP layers render it without translation.
+// and HTTP layers render it without translation. (The pre-versioning
+// "error" mirror key was kept for one release after the /v1 cutover and
+// has since been removed, together with the unversioned path aliases.)
 type Error struct {
 	// Code is one of the Code* constants.
 	Code string `json:"code"`
@@ -48,11 +50,6 @@ type Error struct {
 	// RetryAfterMS, when positive, tells the client how long to back off
 	// before retrying (set on queue_full rejections).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
-	// LegacyError mirrors Message under the pre-versioning key "error",
-	// kept for one release alongside the unversioned path aliases.
-	//
-	// Deprecated: read Message instead.
-	LegacyError string `json:"error,omitempty"`
 }
 
 func (e *Error) Error() string {
@@ -138,10 +135,8 @@ func WriteJSON(w http.ResponseWriter, code int, v any) {
 // a standard Retry-After header (whole seconds, rounded up).
 func WriteError(w http.ResponseWriter, err error, fallbackCode string) {
 	e := WrapError(err, fallbackCode)
-	body := *e
-	body.LegacyError = body.Message
-	if body.Code == CodeQueueFull && body.RetryAfterMS > 0 {
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", (body.RetryAfterMS+999)/1000))
+	if e.Code == CodeQueueFull && e.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", (e.RetryAfterMS+999)/1000))
 	}
-	WriteJSON(w, e.HTTPStatus(), &body)
+	WriteJSON(w, e.HTTPStatus(), e)
 }

@@ -21,8 +21,10 @@ const maxJobSpecBytes = 1 << 16
 //	POST /v1/drain        stop admission              -> 202
 //	GET  /healthz         liveness ("ok"/"draining")
 //
-// The pre-versioning paths (/jobs, /jobs/{id}, /workloads, /metrics)
-// remain registered as aliases for one release; new clients must use /v1.
+// The pre-versioning unversioned paths (/jobs, /jobs/{id}, /workloads,
+// /metrics) were kept as deprecated aliases for one release after the /v1
+// cutover and are gone; they now return 404. Only /healthz stays
+// unversioned.
 //
 // Every non-2xx response body is the Error envelope: 400 invalid_request,
 // 404 unknown_job, 413 payload_too_large, 429 queue_full (with
@@ -31,7 +33,6 @@ func NewHandler(d Dispatcher) http.Handler {
 	mux := http.NewServeMux()
 	handle := func(method, path string, h http.HandlerFunc) {
 		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(method+" "+path, h) // deprecated unversioned alias
 	}
 	handle("POST", "/jobs", func(w http.ResponseWriter, r *http.Request) {
 		spec := DefaultJobSpec()

@@ -184,6 +184,38 @@ type CostTotals struct {
 	Wasted int64 `json:"wasted"`
 }
 
+// ControllerStats reports the adaptive relaxation controller's state
+// (internal/control) when the node runs -jobsched auto; nodes on a static
+// scheduler omit the section entirely. In a cluster aggregate the counters
+// are sums, K and Batch are means across the reporting backends (rounded),
+// and the SLO fields are zeroed unless every reporting backend agrees —
+// the same convention as the "mixed" JobSched label.
+type ControllerStats struct {
+	// Enabled reports that at least one controller contributed to this
+	// snapshot.
+	Enabled bool `json:"enabled"`
+	// K is the job-queue relaxation currently in force; Batch is the
+	// executor batch-size target in force.
+	K     int `json:"k"`
+	Batch int `json:"batch"`
+	// RankSLO and P99SLOMs echo the operator's targets.
+	RankSLO  float64 `json:"rank_slo"`
+	P99SLOMs float64 `json:"p99_slo_ms"`
+	// Steps counts control windows evaluated; Widened and Tightened count
+	// the windows that moved a knob.
+	Steps     int64 `json:"steps"`
+	Widened   int64 `json:"widened"`
+	Tightened int64 `json:"tightened"`
+	// RankViolations and P99Violations count control windows whose sample
+	// breached the respective SLO (even when the knobs were already pinned
+	// at a bound).
+	RankViolations int64 `json:"rank_violations"`
+	P99Violations  int64 `json:"p99_violations"`
+	// LastAdjustment describes the most recent widen or tighten (omitted
+	// in cluster aggregates, where there is no single "last").
+	LastAdjustment string `json:"last_adjustment,omitempty"`
+}
+
 // Metrics is the GET /v1/metrics snapshot of one node. A gateway serves
 // the same shape as the cluster aggregate (see ClusterMetrics).
 type Metrics struct {
@@ -211,6 +243,10 @@ type Metrics struct {
 	// execution itself (excluding queueing and graph build).
 	QueueLatency LatencySummary `json:"queue_latency"`
 	ExecLatency  LatencySummary `json:"exec_latency"`
+	// Controller is the adaptive relaxation controller's state, present
+	// only under -jobsched auto (cluster: aggregated over the backends
+	// that run one).
+	Controller *ControllerStats `json:"controller,omitempty"`
 }
 
 // BackendMetrics is one backend's row in a gateway's cluster snapshot.

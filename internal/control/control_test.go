@@ -1,0 +1,239 @@
+package control
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig is a small, fully pinned configuration so trajectory
+// expectations are easy to read: k in [1, 8] stepping by 1, batch in
+// [1, 64] stepping by 4, SLOs rank<=2 / p99<=100ms, high water 0.75.
+func testConfig() Config {
+	return Config{
+		RankSLO:   2,
+		P99SLOMs:  100,
+		MinK:      1,
+		MaxK:      8,
+		MinBatch:  1,
+		MaxBatch:  64,
+		BatchStep: 4,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// run feeds a scripted trace of samples and returns the k after each step.
+func run(c *Controller, trace []Sample) []int {
+	ks := make([]int, len(trace))
+	for i, s := range trace {
+		ks[i] = c.Step(s).K
+	}
+	return ks
+}
+
+func TestDefaults(t *testing.T) {
+	c := mustNew(t, Config{RankSLO: 2, P99SLOMs: 100})
+	cfg := c.Config()
+	if cfg.MinK != 1 || cfg.MaxK != DefaultMaxK || cfg.InitialK != 1 {
+		t.Errorf("k defaults = [%d, %d] start %d, want [1, %d] start 1",
+			cfg.MinK, cfg.MaxK, cfg.InitialK, DefaultMaxK)
+	}
+	if cfg.MinBatch != 1 || cfg.MaxBatch != DefaultMaxBatch || cfg.InitialBatch != 1 {
+		t.Errorf("batch defaults = [%d, %d] start %d, want [1, %d] start 1",
+			cfg.MinBatch, cfg.MaxBatch, cfg.InitialBatch, DefaultMaxBatch)
+	}
+	if cfg.KStep != 1 || cfg.BatchStep != DefaultBatchStep || cfg.HighWater != DefaultHighWater {
+		t.Errorf("steps = (%d, %d, %g), want (1, %d, %g)",
+			cfg.KStep, cfg.BatchStep, cfg.HighWater, DefaultBatchStep, DefaultHighWater)
+	}
+	st := c.Status()
+	if st.K != 1 || st.Batch != 1 {
+		t.Errorf("initial status K=%d Batch=%d, want 1/1", st.K, st.Batch)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{RankSLO: -1},
+		{P99SLOMs: -1},
+		{MinK: 5, MaxK: 2},
+		{MinK: 2, MaxK: 8, InitialK: 1},
+		{InitialK: 100, MaxK: 8},
+		{MinBatch: 9, MaxBatch: 4},
+		{InitialBatch: 1000, MaxBatch: 64},
+		{KStep: -1},
+		{BatchStep: -2},
+		{HighWater: 1.5},
+		{HighWater: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New(%+v) accepted an invalid config", i, cfg)
+		}
+	}
+}
+
+func TestHoldWhenHealthy(t *testing.T) {
+	c := mustNew(t, testConfig())
+	calm := Sample{QueueDepth: 2, QueueCap: 256, RankErr: 0.5, P99Ms: 20}
+	for i := 0; i < 10; i++ {
+		d := c.Step(calm)
+		if d.Action != Hold || d.K != 1 || d.Batch != 1 {
+			t.Fatalf("step %d: got %+v, want hold at k=1 batch=1", i, d)
+		}
+	}
+	st := c.Status()
+	if st.Steps != 10 || st.Widened != 0 || st.Tightened != 0 ||
+		st.RankViolations != 0 || st.P99Violations != 0 {
+		t.Errorf("status after calm trace = %+v", st)
+	}
+	if st.LastAdjustment != "" {
+		t.Errorf("LastAdjustment = %q, want empty before any adjustment", st.LastAdjustment)
+	}
+}
+
+func TestWidenTrajectoryUnderSustainedPressure(t *testing.T) {
+	// p99 over SLO every window: k climbs additively 1, 2, 3, ... and
+	// saturates at MaxK=8 after 7 steps; batch keeps climbing by 4 until it
+	// hits MaxBatch=64 at step 16, after which the controller holds.
+	c := mustNew(t, testConfig())
+	hot := Sample{QueueDepth: 10, QueueCap: 256, RankErr: 0.5, P99Ms: 500}
+	trace := make([]Sample, 20)
+	for i := range trace {
+		trace[i] = hot
+	}
+	got := run(c, trace)
+	want := []int{2, 3, 4, 5, 6, 7, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("k trajectory = %v, want %v", got, want)
+		}
+	}
+	st := c.Status()
+	if st.Widened != 16 {
+		t.Errorf("Widened = %d, want 16 (batch saturates at step 16, then holds)", st.Widened)
+	}
+	if st.P99Violations != 20 {
+		t.Errorf("P99Violations = %d, want 20 (breaches count even at the cap)", st.P99Violations)
+	}
+	if st.Batch != 64 {
+		t.Errorf("Batch = %d, want 64 (clamped at MaxBatch)", st.Batch)
+	}
+}
+
+func TestTightenIsMultiplicative(t *testing.T) {
+	// Drive k to the cap, then one rank breach halves it; repeated
+	// breaches walk it down to MinK in log steps.
+	c := mustNew(t, testConfig())
+	hot := Sample{QueueDepth: 10, QueueCap: 256, RankErr: 0.5, P99Ms: 500}
+	for i := 0; i < 7; i++ {
+		c.Step(hot)
+	}
+	if k := c.Status().K; k != 8 {
+		t.Fatalf("setup: k = %d, want 8", k)
+	}
+	// Setup left batch at 1 + 7*4 = 29. Five breaches: k halves 4, 2, 1
+	// and pins; batch halves 14, 7, 3, 1 and pins — so the first four
+	// steps each move a knob and the fifth holds at the floor.
+	breach := Sample{QueueDepth: 10, QueueCap: 256, RankErr: 5, P99Ms: 20}
+	got := run(c, []Sample{breach, breach, breach, breach, breach})
+	want := []int{4, 2, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tighten trajectory = %v, want %v", got, want)
+		}
+	}
+	st := c.Status()
+	if st.Tightened != 4 {
+		t.Errorf("Tightened = %d, want 4 (the floor step holds)", st.Tightened)
+	}
+	if st.K != 1 || st.Batch != 1 {
+		t.Errorf("floor = k=%d batch=%d, want 1/1", st.K, st.Batch)
+	}
+	if st.RankViolations != 5 {
+		t.Errorf("RankViolations = %d, want 5", st.RankViolations)
+	}
+	if !strings.Contains(st.LastAdjustment, "tighten") {
+		t.Errorf("LastAdjustment = %q, want a tighten description", st.LastAdjustment)
+	}
+}
+
+func TestRankBreachDominatesPressure(t *testing.T) {
+	// A window breaching both SLOs must tighten, not widen: the quality
+	// contract outranks the latency one.
+	c := mustNew(t, testConfig())
+	hot := Sample{QueueDepth: 10, QueueCap: 256, RankErr: 0.5, P99Ms: 500}
+	for i := 0; i < 5; i++ {
+		c.Step(hot)
+	}
+	both := Sample{QueueDepth: 255, QueueCap: 256, RankErr: 9, P99Ms: 900}
+	d := c.Step(both)
+	if d.Action != Tighten || d.K != 3 {
+		t.Errorf("Step(both breached) = %+v, want tighten to k=3", d)
+	}
+	st := c.Status()
+	if st.RankViolations != 1 || st.P99Violations != 6 {
+		t.Errorf("violations = rank %d / p99 %d, want 1 / 6", st.RankViolations, st.P99Violations)
+	}
+}
+
+func TestDepthHighWaterWidensWithoutLatencySignal(t *testing.T) {
+	// A queue filling toward its admission bound widens even while p99
+	// still looks fine (latency lags depth).
+	c := mustNew(t, testConfig())
+	deep := Sample{QueueDepth: 192, QueueCap: 256, RankErr: 0.5, P99Ms: 20}
+	d := c.Step(deep)
+	if d.Action != Widen || d.K != 2 {
+		t.Errorf("Step(deep queue) = %+v, want widen to k=2", d)
+	}
+	if st := c.Status(); st.P99Violations != 0 {
+		t.Errorf("P99Violations = %d, want 0 (depth widening is not an SLO breach)", st.P99Violations)
+	}
+	if !strings.Contains(c.Status().LastAdjustment, "depth") {
+		t.Errorf("LastAdjustment = %q, want a depth cause", c.Status().LastAdjustment)
+	}
+}
+
+func TestIdleWindowIsNoSignal(t *testing.T) {
+	// RankErr < 0 marks a window with no dispatches: it must not be read
+	// as "rank error fine" nor as a breach — with a calm queue the
+	// controller holds.
+	c := mustNew(t, testConfig())
+	idle := Sample{QueueDepth: 0, QueueCap: 256, RankErr: -1, P99Ms: 0}
+	d := c.Step(idle)
+	if d.Action != Hold || d.K != 1 {
+		t.Errorf("Step(idle) = %+v, want hold at k=1", d)
+	}
+	if st := c.Status(); st.RankViolations != 0 {
+		t.Errorf("RankViolations = %d, want 0", st.RankViolations)
+	}
+}
+
+func TestBurstRecoveryCycle(t *testing.T) {
+	// A full scripted episode: calm → burst (widen) → overshoot (rank
+	// breach, tighten) → calm again (hold at the tightened point).
+	c := mustNew(t, testConfig())
+	calm := Sample{QueueDepth: 1, QueueCap: 256, RankErr: 0, P99Ms: 10}
+	burst := Sample{QueueDepth: 200, QueueCap: 256, RankErr: 1, P99Ms: 400}
+	overshoot := Sample{QueueDepth: 50, QueueCap: 256, RankErr: 4, P99Ms: 80}
+
+	trace := []Sample{calm, calm, burst, burst, burst, burst, overshoot, calm, calm}
+	got := run(c, trace)
+	want := []int{1, 1, 2, 3, 4, 5, 2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("k trajectory = %v, want %v", got, want)
+		}
+	}
+	st := c.Status()
+	if st.Widened != 4 || st.Tightened != 1 {
+		t.Errorf("Widened/Tightened = %d/%d, want 4/1", st.Widened, st.Tightened)
+	}
+}

@@ -1,0 +1,44 @@
+package control_test
+
+import (
+	"fmt"
+
+	"relaxsched/internal/control"
+)
+
+// Example drives the controller through a scripted load episode: a calm
+// queue holds the knobs at their exact-scheduler floor, sustained latency
+// pressure widens them additively, and a rank-error SLO breach snaps them
+// back multiplicatively.
+func Example() {
+	c, err := control.New(control.Config{
+		RankSLO:   2,   // tolerate a windowed mean rank error of 2
+		P99SLOMs:  100, // target p99 queue latency of 100ms
+		MaxK:      8,
+		MaxBatch:  64,
+		BatchStep: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	calm := control.Sample{QueueDepth: 2, QueueCap: 256, RankErr: 0, P99Ms: 15}
+	pressure := control.Sample{QueueDepth: 40, QueueCap: 256, RankErr: 1, P99Ms: 350}
+	breach := control.Sample{QueueDepth: 10, QueueCap: 256, RankErr: 5, P99Ms: 60}
+
+	for _, s := range []control.Sample{calm, pressure, pressure, pressure, breach, calm} {
+		d := c.Step(s)
+		fmt.Printf("%-7s k=%d batch=%d\n", d.Action, d.K, d.Batch)
+	}
+	st := c.Status()
+	fmt.Printf("widened=%d tightened=%d rank_violations=%d\n",
+		st.Widened, st.Tightened, st.RankViolations)
+	// Output:
+	// hold    k=1 batch=1
+	// widen   k=2 batch=5
+	// widen   k=3 batch=9
+	// widen   k=4 batch=13
+	// tighten k=2 batch=6
+	// hold    k=2 batch=6
+	// widened=3 tightened=1 rank_violations=1
+}

@@ -39,6 +39,12 @@ type ConcurrentOptions struct {
 	// instance's state is then partial and must be discarded. A nil channel
 	// disables cancellation at no cost to the hot loop.
 	Cancel <-chan struct{}
+	// Tunable, when non-nil, supplies the batch size dynamically: workers
+	// re-read it at every batch episode, so an external controller
+	// (internal/control) can retune a running execution. It overrides
+	// BatchSize; its value at start seeds the workers' buffers. Nil keeps
+	// the static BatchSize path at no cost.
+	Tunable *TunableOptions
 }
 
 // WorkerResult reports per-worker counters from a concurrent execution.
@@ -126,6 +132,9 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 	if batch == 0 {
 		batch = DefaultBatchSize
 	}
+	if opts.Tunable != nil {
+		batch = opts.Tunable.Batch()
+	}
 
 	st := newConcState(labels)
 	inst := p.NewInstance(st)
@@ -149,7 +158,7 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(inst, st, s, policy, batch, int64(n), states, w, opts.Cancel, &canceled)
+			runWorker(inst, st, s, policy, batch, opts.Tunable, int64(n), states, w, opts.Cancel, &canceled)
 		}(w)
 	}
 	wg.Wait()
@@ -176,7 +185,7 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 	return res, nil
 }
 
-func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, batch int, total int64, states []workerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
+func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, batch int, tun *TunableOptions, total int64, states []workerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
 	ws := &states[self]
 	wr := &ws.WorkerResult
 	buf := make([]sched.Item, batch)
@@ -185,6 +194,9 @@ func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, 
 	var unpublished int64
 
 	for {
+		// Pick up a retuned batch size at the episode boundary (no-op
+		// without a tunable; one atomic load with one).
+		buf = episodeBatch(tun, buf)
 		// One non-blocking cancellation check per batch episode; the reinsert
 		// buffer is always empty here, so publishing the local delta is all
 		// the cleanup an abort needs. A nil channel is never ready.

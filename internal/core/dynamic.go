@@ -116,6 +116,12 @@ type DynamicOptions struct {
 	// problem's state is then partial and must be discarded. A nil channel
 	// disables cancellation at no cost to the hot loop.
 	Cancel <-chan struct{}
+	// Tunable, when non-nil, supplies the batch size dynamically: workers
+	// re-read it at every batch episode, so an external controller
+	// (internal/control) can retune a running execution. It overrides
+	// BatchSize; its value at start seeds the workers' buffers. Nil keeps
+	// the static BatchSize path at no cost.
+	Tunable *TunableOptions
 }
 
 // ErrNilProblem indicates a nil DynamicProblem.
@@ -219,6 +225,9 @@ func RunDynamicConcurrent(p DynamicProblem, seeds []sched.Item, s sched.Concurre
 	if batch == 0 {
 		batch = DefaultBatchSize
 	}
+	if opts.Tunable != nil {
+		batch = opts.Tunable.Batch()
+	}
 
 	s.InsertBatch(seeds)
 	seeded := int64(len(seeds))
@@ -230,7 +239,7 @@ func RunDynamicConcurrent(p DynamicProblem, seeds []sched.Item, s sched.Concurre
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runDynamicWorker(p, s, batch, seeded, states, w, opts.Cancel, &canceled)
+			runDynamicWorker(p, s, batch, opts.Tunable, seeded, states, w, opts.Cancel, &canceled)
 		}(w)
 	}
 	wg.Wait()
@@ -250,7 +259,7 @@ func RunDynamicConcurrent(p DynamicProblem, seeds []sched.Item, s sched.Concurre
 	return res, nil
 }
 
-func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, seeded int64, states []dynWorkerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
+func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, tun *TunableOptions, seeded int64, states []dynWorkerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
 	ws := &states[self]
 	buf := make([]sched.Item, batch)
 	em := &Emitter{Worker: self, items: make([]sched.Item, 0, 2*batch)}
@@ -279,6 +288,10 @@ func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, seeded in
 	}
 
 	for {
+		// Pick up a retuned batch size at the episode boundary; the flush
+		// threshold follows the buffer (no-op without a tunable).
+		buf = episodeBatch(tun, buf)
+		batch = len(buf)
 		if p.Done() {
 			flush()
 			return

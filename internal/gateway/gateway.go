@@ -327,6 +327,7 @@ func (g *Gateway) ClusterMetrics(ctx context.Context) api.ClusterMetrics {
 	}
 	g.mu.Unlock()
 
+	controllers := 0
 	for _, row := range rows {
 		if row.Metrics == nil {
 			continue
@@ -349,9 +350,14 @@ func (g *Gateway) ClusterMetrics(ctx context.Context) api.ClusterMetrics {
 		cm.Cost.Wasted += m.Cost.Wasted
 		mergeLatency(&cm.QueueLatency, m.QueueLatency)
 		mergeLatency(&cm.ExecLatency, m.ExecLatency)
+		if m.Controller != nil {
+			mergeController(&cm.Controller, m.Controller)
+			controllers++
+		}
 	}
 	finishLatency(&cm.QueueLatency)
 	finishLatency(&cm.ExecLatency)
+	finishController(cm.Controller, controllers)
 	return cm
 }
 
@@ -371,6 +377,50 @@ func addCacheStats(dst *api.CacheStats, src api.CacheStats) {
 	dst.Hits += src.Hits
 	dst.Misses += src.Misses
 	dst.Evictions += src.Evictions
+}
+
+// mergeController folds one backend's controller section into the cluster
+// aggregate; finishController turns the K/Batch sums into means. Backends
+// on static schedulers report no section and are simply absent from the
+// aggregate (a fleet with no controllers omits the section entirely).
+// Counters sum; the SLO echo survives only while every reporting backend
+// agrees, zeroing on heterogeneous fleets exactly as JobSchedK does; the
+// per-node LastAdjustment is dropped — a cluster has no single "last".
+func mergeController(dst **api.ControllerStats, src *api.ControllerStats) {
+	if src == nil {
+		return
+	}
+	if *dst == nil {
+		*dst = &api.ControllerStats{
+			Enabled:  true,
+			RankSLO:  src.RankSLO,
+			P99SLOMs: src.P99SLOMs,
+		}
+	}
+	d := *dst
+	if d.RankSLO != src.RankSLO {
+		d.RankSLO = 0
+	}
+	if d.P99SLOMs != src.P99SLOMs {
+		d.P99SLOMs = 0
+	}
+	d.K += src.K
+	d.Batch += src.Batch
+	d.Steps += src.Steps
+	d.Widened += src.Widened
+	d.Tightened += src.Tightened
+	d.RankViolations += src.RankViolations
+	d.P99Violations += src.P99Violations
+}
+
+// finishController divides the summed K/Batch back into per-backend means
+// (rounded to nearest), given how many backends reported a controller.
+func finishController(c *api.ControllerStats, controllers int) {
+	if c == nil || controllers == 0 {
+		return
+	}
+	c.K = (c.K + controllers/2) / controllers
+	c.Batch = (c.Batch + controllers/2) / controllers
 }
 
 // mergeLatency accumulates count-weighted sums into dst; finishLatency
@@ -436,16 +486,16 @@ func (g *Gateway) HealthyBackends() int {
 
 // Handler serves the gateway over the same versioned wire API as a
 // single node (api.NewHandler), with the metrics and health routes
-// overridden: GET /v1/metrics (and the deprecated /metrics alias) serves
-// the full ClusterMetrics payload, and /healthz answers 200 only while
-// the gateway is accepting jobs and at least one backend is reachable.
+// overridden: GET /v1/metrics serves the full ClusterMetrics payload, and
+// /healthz answers 200 only while the gateway is accepting jobs and at
+// least one backend is reachable. (The deprecated unversioned /metrics
+// alias is gone, like the node-level aliases.)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	metrics := func(w http.ResponseWriter, r *http.Request) {
 		api.WriteJSON(w, http.StatusOK, g.ClusterMetrics(r.Context()))
 	}
 	mux.HandleFunc("GET /v1/metrics", metrics)
-	mux.HandleFunc("GET /metrics", metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		g.mu.Lock()
 		draining := g.draining

@@ -174,7 +174,7 @@ func TestGatewayHandler502(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
-	if e.Code != api.CodeBackendDown || e.Message == "" || e.LegacyError != e.Message {
+	if e.Code != api.CodeBackendDown || e.Message == "" {
 		t.Fatalf("envelope = %+v", e)
 	}
 
@@ -284,5 +284,92 @@ func TestGatewayDrain(t *testing.T) {
 	}
 	if !m.Draining {
 		t.Fatal("backend did not receive the drain fan-out")
+	}
+}
+
+// cannedMetricsBackend serves a fixed /v1/metrics snapshot (plus a healthy
+// /healthz), so aggregation tests can assemble arbitrary heterogeneous
+// fleets without spinning up real managers.
+func cannedMetricsBackend(t *testing.T, m api.Metrics) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// TestGatewayControllerAggregation: the cluster controller section sums the
+// violation/adjustment counters, averages the live k and batch over the
+// backends that actually run a controller, keeps the SLO echo only while
+// every controller agrees, and drops the per-node LastAdjustment. Static
+// backends (no controller section) don't dilute the averages, and a fleet
+// with no controllers reports no section at all.
+func TestGatewayControllerAggregation(t *testing.T) {
+	autoA := api.Metrics{JobSched: service.JobSchedAuto, Controller: &api.ControllerStats{
+		Enabled: true, K: 2, Batch: 16, RankSLO: 2, P99SLOMs: 5000,
+		Steps: 100, Widened: 10, Tightened: 4, RankViolations: 3, P99Violations: 7,
+		LastAdjustment: "tighten: window rank error 2.50 > SLO 2.00; k=2 batch=16",
+	}}
+	autoB := api.Metrics{JobSched: service.JobSchedAuto, Controller: &api.ControllerStats{
+		Enabled: true, K: 6, Batch: 48, RankSLO: 2, P99SLOMs: 5000,
+		Steps: 80, Widened: 25, Tightened: 1, RankViolations: 1, P99Violations: 30,
+		LastAdjustment: "widen: queue p99 6000ms > SLO 5000ms; k=6 batch=48",
+	}}
+	static := api.Metrics{JobSched: service.JobSchedExact}
+
+	g := newTestGateway(t,
+		cannedMetricsBackend(t, autoA),
+		cannedMetricsBackend(t, autoB),
+		cannedMetricsBackend(t, static))
+	cm := g.ClusterMetrics(context.Background())
+
+	c := cm.Controller
+	if c == nil || !c.Enabled {
+		t.Fatalf("controller section = %+v", c)
+	}
+	// Means over the two reporting controllers, rounded: (2+6)/2, (16+48)/2.
+	if c.K != 4 || c.Batch != 32 {
+		t.Fatalf("k=%d batch=%d, want means 4 and 32", c.K, c.Batch)
+	}
+	if c.Steps != 180 || c.Widened != 35 || c.Tightened != 5 {
+		t.Fatalf("steps=%d widened=%d tightened=%d, want sums 180/35/5", c.Steps, c.Widened, c.Tightened)
+	}
+	if c.RankViolations != 4 || c.P99Violations != 37 {
+		t.Fatalf("violations rank=%d p99=%d, want sums 4/37", c.RankViolations, c.P99Violations)
+	}
+	if c.RankSLO != 2 || c.P99SLOMs != 5000 {
+		t.Fatalf("agreeing SLO echo lost: rank=%v p99=%v", c.RankSLO, c.P99SLOMs)
+	}
+	if c.LastAdjustment != "" {
+		t.Fatalf("cluster aggregate kept a per-node LastAdjustment: %q", c.LastAdjustment)
+	}
+
+	// Disagreeing SLOs zero the echo — same convention as JobSchedK under a
+	// mixed fleet — while the counters still sum.
+	autoC := api.Metrics{JobSched: service.JobSchedAuto, Controller: &api.ControllerStats{
+		Enabled: true, K: 1, Batch: 1, RankSLO: 8, P99SLOMs: 250, Steps: 5,
+	}}
+	g2 := newTestGateway(t,
+		cannedMetricsBackend(t, autoA),
+		cannedMetricsBackend(t, autoC))
+	c2 := g2.ClusterMetrics(context.Background()).Controller
+	if c2 == nil || c2.RankSLO != 0 || c2.P99SLOMs != 0 {
+		t.Fatalf("disagreeing SLO echo = %+v, want zeroed", c2)
+	}
+	if c2.Steps != 105 {
+		t.Fatalf("steps = %d, want 105", c2.Steps)
+	}
+
+	// A fleet with no controllers omits the section entirely.
+	g3 := newTestGateway(t, cannedMetricsBackend(t, static))
+	if cm3 := g3.ClusterMetrics(context.Background()); cm3.Controller != nil {
+		t.Fatalf("static fleet grew a controller section: %+v", cm3.Controller)
 	}
 }

@@ -62,6 +62,34 @@ func Factory(k int) sched.Factory {
 // K returns the relaxation bound.
 func (q *Queue) K() int { return q.k }
 
+// SetK retunes the relaxation bound at runtime (values below 1 are treated
+// as 1, as in New). Growing k just lets the dispatch buffer fill further on
+// the next ApproxGetMin. Shrinking evicts the buffer's *largest* items back
+// to the heap until the buffer fits — evicting maxima (rather than, say,
+// trimming the FIFO tail) keeps the invariant that every buffered item is
+// no larger than every heap item, so dispatches obey the new, tighter rank
+// bound immediately, not after the old buffer drains. relaxd's adaptive
+// controller (-jobsched auto) relies on that immediacy when it tightens in
+// response to a rank-error SLO violation.
+func (q *Queue) SetK(k int) {
+	if k < 1 {
+		k = 1
+	}
+	q.k = k
+	for len(q.buffer) > k {
+		maxIdx := 0
+		for i := 1; i < len(q.buffer); i++ {
+			if q.buffer[maxIdx].Less(q.buffer[i]) {
+				maxIdx = i
+			}
+		}
+		q.heap.Insert(q.buffer[maxIdx])
+		// Close the gap with a shift, not a swap: the buffer is a FIFO and
+		// the surviving items must keep their dispatch order.
+		q.buffer = append(q.buffer[:maxIdx], q.buffer[maxIdx+1:]...)
+	}
+}
+
 // Insert adds an item. If the item is smaller than the largest buffered item
 // it takes that item's place in the dispatch buffer (the displaced item
 // returns to the heap), preserving the invariant that the buffer holds the

@@ -160,3 +160,101 @@ func TestFactory(t *testing.T) {
 		t.Fatal("factory queue broken")
 	}
 }
+
+func TestSetKShrinkBoundsRankImmediately(t *testing.T) {
+	// Run wide, then tighten mid-stream: the very next dispatch must obey
+	// the new bound — SetK evicts buffer maxima back to the heap, so the
+	// buffer never transiently serves an item of rank > new k.
+	const n = 400
+	q := New(9, n)
+	r := rng.New(11)
+	live := make(map[uint32]bool)
+	for i := 0; i < n; i++ {
+		p := uint32(r.Intn(1 << 20))
+		for live[p] {
+			p++
+		}
+		q.Insert(sched.Item{Task: int32(i), Priority: p})
+		live[p] = true
+	}
+	pop := func(bound int) {
+		t.Helper()
+		it, ok := q.ApproxGetMin()
+		if !ok {
+			t.Fatal("queue empty while model non-empty")
+		}
+		rank := 1
+		for p := range live {
+			if p < it.Priority {
+				rank++
+			}
+		}
+		if rank > bound {
+			t.Fatalf("returned rank %d > bound %d", rank, bound)
+		}
+		delete(live, it.Priority)
+	}
+	for i := 0; i < 50; i++ {
+		pop(9) // fills the dispatch buffer to 9
+	}
+	q.SetK(2)
+	if q.K() != 2 {
+		t.Fatalf("K = %d after SetK(2), want 2", q.K())
+	}
+	for len(live) > 0 {
+		pop(2)
+	}
+}
+
+func TestSetKPreservesItemsAndOrderOfSurvivors(t *testing.T) {
+	// Shrinking must lose nothing and must keep the surviving buffered
+	// items in their FIFO order; the exact construction is traced in the
+	// step comments below.
+	q := New(5, 16)
+	for i := 0; i < 10; i++ {
+		q.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	it, _ := q.ApproxGetMin() // returns 0; buffer is FIFO 1, 2, 3, 4
+	q.Insert(it)              // 0 < buffer max 4: 4 to the heap, buffer 1, 2, 3, 0
+	q.SetK(2)                 // evict maxima 3 then 2: buffer 1, 0
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d after SetK, want 10 (nothing lost)", q.Len())
+	}
+	var got []uint32
+	for {
+		it, ok := q.ApproxGetMin()
+		if !ok {
+			break
+		}
+		got = append(got, it.Priority)
+	}
+	if len(got) != 10 {
+		t.Fatalf("drained %d items, want 10", len(got))
+	}
+	// Survivors of the k=2 shrink are 1, 2, 0 minus evictions down to two
+	// items: maxima 4, 3, then 2 are evicted, leaving FIFO 1, 0.
+	want := []uint32{1, 0, 2, 3, 4, 5, 6, 7, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetKClampsAndGrows(t *testing.T) {
+	q := New(4, 8)
+	q.SetK(0)
+	if q.K() != 1 {
+		t.Fatalf("SetK(0) left K = %d, want clamp to 1", q.K())
+	}
+	q.SetK(16)
+	if q.K() != 16 {
+		t.Fatalf("SetK(16) left K = %d", q.K())
+	}
+	for i := 0; i < 8; i++ {
+		q.Insert(sched.Item{Task: int32(i), Priority: uint32(i)})
+	}
+	if it, ok := q.ApproxGetMin(); !ok || it.Priority != 0 {
+		t.Fatalf("got %v after grow, want priority 0", it)
+	}
+}

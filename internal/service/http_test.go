@@ -36,7 +36,7 @@ func postJob(t *testing.T, url string, spec JobSpec) (*http.Response, []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func pollHTTP(t *testing.T, url string, id int64) JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", url, id))
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", url, id))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +136,7 @@ func TestHTTPBadRequests(t *testing.T) {
 		{"bad model", `{"workload":"mis","graph":{"n":10,"model":"hypercube"}}`},
 	}
 	for _, c := range cases {
-		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(c.body))
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(c.body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func TestHTTPBadRequests(t *testing.T) {
 			t.Fatalf("%s: status %s, body %s", c.name, resp.Status, payload)
 		}
 		var msg map[string]string
-		if err := json.Unmarshal(payload, &msg); err != nil || msg["error"] == "" {
+		if err := json.Unmarshal(payload, &msg); err != nil || msg["message"] == "" {
 			t.Fatalf("%s: error body %q", c.name, payload)
 		}
 	}
@@ -160,14 +160,14 @@ func TestHTTPBadRequests(t *testing.T) {
 		resp.Body.Close()
 		return resp.StatusCode
 	}
-	if got := statusOf("/jobs/999"); got != http.StatusNotFound {
+	if got := statusOf("/v1/jobs/999"); got != http.StatusNotFound {
 		t.Fatalf("unknown id: %d", got)
 	}
-	if got := statusOf("/jobs/abc"); got != http.StatusBadRequest {
+	if got := statusOf("/v1/jobs/abc"); got != http.StatusBadRequest {
 		t.Fatalf("bad id: %d", got)
 	}
-	if got := statusOf("/jobs"); got != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /jobs: %d", got)
+	if got := statusOf("/v1/jobs"); got != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs: %d", got)
 	}
 }
 
@@ -213,7 +213,7 @@ func TestHTTPDraining503(t *testing.T) {
 // deterministic sorted order with full documentation fields.
 func TestHTTPWorkloadListing(t *testing.T) {
 	_, srv := newTestServer(t, Options{startPaused: true, Workers: 1})
-	resp, err := http.Get(srv.URL + "/workloads")
+	resp, err := http.Get(srv.URL + "/v1/workloads")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,11 +29,17 @@ const (
 	// order, unbounded rank error — what a conventional job service does,
 	// and the yardstick the relaxed schedulers are judged against.
 	JobSchedFIFO = "fifo"
+	// JobSchedAuto is the adaptive mode: a k-bounded queue whose k the
+	// manager's feedback controller (internal/control) retunes online —
+	// widening under queue pressure, tightening toward exact when the
+	// observed rank error breaches the operator's SLO. The controller also
+	// drives the executor batch size through core.TunableOptions.
+	JobSchedAuto = "auto"
 )
 
 // JobSchedNames lists the selectable job-queue schedulers.
 func JobSchedNames() []string {
-	return []string{JobSchedExact, JobSchedMultiQueue, JobSchedKBounded, JobSchedFIFO}
+	return []string{JobSchedExact, JobSchedMultiQueue, JobSchedKBounded, JobSchedFIFO, JobSchedAuto}
 }
 
 // NewJobScheduler constructs the named job-queue scheduler. k is the
@@ -53,6 +59,10 @@ func NewJobScheduler(name string, k, capacity int, seed uint64) (sched.Scheduler
 	case JobSchedMultiQueue:
 		return multiqueue.NewSequential(k, capacity, rng.New(seed)), nil
 	case JobSchedKBounded:
+		return kbounded.New(k, capacity), nil
+	case JobSchedAuto:
+		// The adaptive mode starts as a k-bounded queue at the given k; the
+		// manager's control loop retunes it through kbounded.Queue.SetK.
 		return kbounded.New(k, capacity), nil
 	case JobSchedFIFO:
 		return newFIFOQueue(capacity), nil

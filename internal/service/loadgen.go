@@ -134,6 +134,10 @@ func (r LoadResult) Format() string {
 		m.QueueLatency.MeanMs, m.QueueLatency.P50Ms, m.QueueLatency.P99Ms, m.QueueLatency.MaxMs)
 	fmt.Fprintf(&b, "job sched: %s (k=%d)  rank error: mean=%.2f max=%d over %d dispatches\n",
 		m.JobSched, m.JobSchedK, m.RankError.Mean, m.RankError.Max, m.RankError.Count)
+	if c := m.Controller; c != nil && c.Enabled {
+		fmt.Fprintf(&b, "controller: k=%d batch=%d  %d widened / %d tightened over %d steps  violations: rank=%d p99=%d\n",
+			c.K, c.Batch, c.Widened, c.Tightened, c.Steps, c.RankViolations, c.P99Violations)
+	}
 	fmt.Fprintf(&b, "graph cache: %d/%d entries, %d hits, %d misses, %d evictions\n",
 		m.Cache.Entries, m.Cache.Capacity, m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions)
 	fmt.Fprintf(&b, "wasted work: %d (of %d pops, %d stale)\n",

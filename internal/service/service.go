@@ -27,9 +27,11 @@ import (
 	"sync"
 	"time"
 
+	"relaxsched/internal/control"
 	"relaxsched/internal/core"
 	"relaxsched/internal/ranktrack"
 	"relaxsched/internal/sched"
+	"relaxsched/internal/sched/kbounded"
 	"relaxsched/internal/workload"
 )
 
@@ -69,9 +71,18 @@ type Options struct {
 	// the oldest finished jobs are forgotten first (default 65536).
 	RetainJobs int
 
-	// startPaused starts the manager without its worker pool, so tests can
-	// fill the queue deterministically (admission control, 429 paths).
-	// In-package only by design.
+	// RankSLO is the adaptive controller's bound on the windowed mean job
+	// rank error (default 2); P99SLO is its p99 queue-latency target
+	// (default 5s); ControlInterval is the control-loop sampling period
+	// (default 250ms). All three apply only with JobSched "auto".
+	RankSLO         float64
+	P99SLO          time.Duration
+	ControlInterval time.Duration
+
+	// startPaused starts the manager without its worker pool (and, under
+	// JobSched "auto", without its control loop), so tests can fill the
+	// queue deterministically (admission control, 429 paths). In-package
+	// only by design.
 	startPaused bool
 }
 
@@ -94,6 +105,15 @@ func (o Options) withDefaults() Options {
 	if o.RetainJobs == 0 {
 		o.RetainJobs = 65536
 	}
+	if o.RankSLO == 0 {
+		o.RankSLO = 2
+	}
+	if o.P99SLO == 0 {
+		o.P99SLO = 5 * time.Second
+	}
+	if o.ControlInterval == 0 {
+		o.ControlInterval = 250 * time.Millisecond
+	}
 	return o
 }
 
@@ -106,6 +126,18 @@ type Manager struct {
 	cache     *graphCache
 	started   time.Time
 	wg        sync.WaitGroup
+
+	// Adaptive-relaxation machinery, set only under JobSched "auto": the
+	// AIMD controller, the retunable queue it steers, and the shared
+	// executor batch target every in-flight run re-reads. The control loop
+	// has its own stop channel and WaitGroup because Close must stop it
+	// before (not while) waiting out the job workers.
+	ctrl      *control.Controller
+	autoQueue *kbounded.Queue
+	tunable   *core.TunableOptions
+	ctrlStop  chan struct{}
+	ctrlOnce  sync.Once
+	ctrlWG    sync.WaitGroup
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -124,6 +156,14 @@ type Manager struct {
 	execLat  latencyRing
 	closed   bool // no new submissions; workers drain the queue
 	aborted  bool // forced: workers stop popping
+
+	// Control-loop bookkeeping (JobSched "auto" only, under mu):
+	// ctrlStatus is the latest controller snapshot for Metrics;
+	// lastRankCount/lastRankSum window the cumulative rank stats so each
+	// control step sees only its own window's mean.
+	ctrlStatus    control.Status
+	lastRankCount int64
+	lastRankSum   float64
 }
 
 // NewManager validates the options, builds the job scheduler and starts the
@@ -136,9 +176,37 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.QueueDepth < 1 {
 		return nil, fmt.Errorf("service: queue depth must be at least 1, got %d", opts.QueueDepth)
 	}
-	queue, err := NewJobScheduler(opts.JobSched, opts.JobSchedK, opts.QueueDepth, opts.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
+	var (
+		ctrl      *control.Controller
+		autoQueue *kbounded.Queue
+		tunable   *core.TunableOptions
+		queue     sched.Scheduler
+	)
+	if opts.JobSched == JobSchedAuto {
+		// The adaptive mode owns its queue construction: the controller picks
+		// the starting point (k=1, batch=1 — start exact, earn relaxation),
+		// and the manager keeps the concrete *kbounded.Queue so the control
+		// loop can retune it through SetK. MaxK is capped at the queue depth:
+		// a rank bound beyond the deepest possible queue buys nothing.
+		c, err := control.New(control.Config{
+			RankSLO:  opts.RankSLO,
+			P99SLOMs: float64(opts.P99SLO.Milliseconds()),
+			MaxK:     min(control.DefaultMaxK, opts.QueueDepth),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		st := c.Status()
+		ctrl = c
+		autoQueue = kbounded.New(st.K, opts.QueueDepth)
+		tunable = core.NewTunable(st.Batch)
+		queue = autoQueue
+	} else {
+		q, err := NewJobScheduler(opts.JobSched, opts.JobSchedK, opts.QueueDepth, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		queue = q
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
@@ -147,11 +215,18 @@ func NewManager(opts Options) (*Manager, error) {
 		runCancel: cancel,
 		cache:     newGraphCache(opts.CacheCapacity),
 		started:   time.Now(),
+		ctrl:      ctrl,
+		autoQueue: autoQueue,
+		tunable:   tunable,
 		queue:     queue,
 		jobs:      make(map[int64]*job),
 		nextID:    1,
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if m.ctrl != nil {
+		m.ctrlStop = make(chan struct{})
+		m.ctrlStatus = m.ctrl.Status()
+	}
 	if opts.startPaused {
 		return m, nil
 	}
@@ -162,7 +237,72 @@ func NewManager(opts Options) (*Manager, error) {
 			m.worker()
 		}()
 	}
+	if m.ctrl != nil {
+		m.ctrlWG.Add(1)
+		go func() {
+			defer m.ctrlWG.Done()
+			m.controlLoop()
+		}()
+	}
 	return m, nil
+}
+
+// controlLoop drives the adaptive controller: every ControlInterval it takes
+// one sample→decide→apply step until stopControl fires.
+func (m *Manager) controlLoop() {
+	t := time.NewTicker(m.opts.ControlInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctrlStop:
+			return
+		case <-t.C:
+			m.controlStep()
+		}
+	}
+}
+
+// controlStep runs one control cycle: sample the windowed rank error, queue
+// depth and p99 queue latency; ask the controller for a decision; apply it to
+// the queue's dispatch bound and the shared executor batch target. Factored
+// out of controlLoop so tests can step the loop deterministically.
+func (m *Manager) controlStep() {
+	m.mu.Lock()
+	// Windowed mean rank error: the cumulative stats store rank−1 per
+	// dispatch, so the delta sum over the delta count is exactly the
+	// window's mean rank error. A window with no dispatches carries no rank
+	// signal (-1 tells the controller to skip the rank check).
+	rankErr := -1.0
+	if dc := m.rank.Count - m.lastRankCount; dc > 0 {
+		rankErr = (m.rank.Sum - m.lastRankSum) / float64(dc)
+	}
+	m.lastRankCount = m.rank.Count
+	m.lastRankSum = m.rank.Sum
+	d := m.ctrl.Step(control.Sample{
+		QueueDepth: m.pending,
+		QueueCap:   m.opts.QueueDepth,
+		RankErr:    rankErr,
+		P99Ms:      m.queueLat.summary().P99Ms,
+	})
+	if d.K != m.autoQueue.K() {
+		m.autoQueue.SetK(d.K)
+	}
+	m.ctrlStatus = m.ctrl.Status()
+	m.mu.Unlock()
+	// The batch target is atomic; in-flight executors re-read it per batch
+	// episode, no lock needed.
+	m.tunable.SetBatch(d.Batch)
+}
+
+// stopControl stops the control loop, if any. It runs on its own stop
+// channel and WaitGroup — not m.wg — because Close must stop it before (not
+// while) waiting out the job workers; it is idempotent, like Close.
+func (m *Manager) stopControl() {
+	if m.ctrl == nil {
+		return
+	}
+	m.ctrlOnce.Do(func() { close(m.ctrlStop) })
+	m.ctrlWG.Wait()
 }
 
 // Submit validates a job spec and enqueues it, returning the queued job's
@@ -226,10 +366,34 @@ func (m *Manager) Metrics() Metrics {
 	counts.Queued = int64(m.pending)
 	counts.Running = int64(m.running)
 	re := RankErrorStats{Count: m.rank.Count, Mean: m.rank.Mean(), Max: m.rank.Max}
+	jobSchedK := m.opts.JobSchedK
+	var ctrlStats *ControllerStats
+	if m.ctrl != nil {
+		// Under auto the configured K is meaningless — the live k lives in
+		// the controller section. Reporting 0 here also keeps a cluster of
+		// auto nodes from aggregating to JobSched "mixed" when their live ks
+		// momentarily diverge.
+		jobSchedK = 0
+		cfg := m.ctrl.Config()
+		st := m.ctrlStatus
+		ctrlStats = &ControllerStats{
+			Enabled:        true,
+			K:              st.K,
+			Batch:          st.Batch,
+			RankSLO:        cfg.RankSLO,
+			P99SLOMs:       cfg.P99SLOMs,
+			Steps:          st.Steps,
+			Widened:        st.Widened,
+			Tightened:      st.Tightened,
+			RankViolations: st.RankViolations,
+			P99Violations:  st.P99Violations,
+			LastAdjustment: st.LastAdjustment,
+		}
+	}
 	return Metrics{
 		UptimeSeconds: time.Since(m.started).Seconds(),
 		JobSched:      m.opts.JobSched,
-		JobSchedK:     m.opts.JobSchedK,
+		JobSchedK:     jobSchedK,
 		Workers:       m.opts.Workers,
 		QueueCapacity: m.opts.QueueDepth,
 		Draining:      m.closed,
@@ -239,6 +403,7 @@ func (m *Manager) Metrics() Metrics {
 		RankError:     re,
 		QueueLatency:  m.queueLat.summary(),
 		ExecLatency:   m.execLat.summary(),
+		Controller:    ctrlStats,
 	}
 }
 
@@ -261,6 +426,7 @@ func (m *Manager) BeginDrain() {
 // still-queued jobs flip to StateCanceled, and Close returns ctx's error.
 // Close is idempotent; every call waits for the workers to exit.
 func (m *Manager) Close(ctx context.Context) error {
+	m.stopControl()
 	m.BeginDrain()
 
 	workersDone := make(chan struct{})
@@ -356,6 +522,11 @@ func (m *Manager) execute(j *job) {
 	if err != nil {
 		m.finish(j, nil, err, 0)
 		return
+	}
+	if m.tunable != nil && j.spec.Batch == 0 {
+		// Adaptive mode steers the executor batch size too — but an explicit
+		// per-job batch in the spec wins over the controller.
+		cfg.Tunable = m.tunable
 	}
 	res, err := d.RunModeContext(m.runCtx, g, cfg, runParams(j.spec))
 	if err != nil {

@@ -31,6 +31,8 @@ type (
 	RankErrorStats = api.RankErrorStats
 	// LatencySummary summarizes a latency distribution in milliseconds.
 	LatencySummary = api.LatencySummary
+	// ControllerStats is the adaptive-controller section of Metrics.
+	ControllerStats = api.ControllerStats
 )
 
 // Job lifecycle states; see the api.State* constants.

@@ -63,6 +63,7 @@ func (si *staticInstance) RunConcurrent(s sched.Concurrent, opts ConcOptions) (O
 		BlockedPolicy: policy,
 		BatchSize:     opts.BatchSize,
 		Cancel:        opts.Cancel,
+		Tunable:       opts.Tunable,
 	})
 	if err != nil {
 		return nil, Cost{}, err
@@ -105,6 +106,7 @@ func (di *dynamicInstance) RunConcurrent(s sched.Concurrent, opts ConcOptions) (
 		Workers:   opts.Workers,
 		BatchSize: opts.BatchSize,
 		Cancel:    opts.Cancel,
+		Tunable:   opts.Tunable,
 	})
 }
 

@@ -120,6 +120,11 @@ type RunConfig struct {
 	// QueueFactor is the number of concurrent MultiQueue sub-queues per
 	// thread (0 selects multiqueue.DefaultQueueFactor).
 	QueueFactor int
+	// Tunable, when non-nil, supplies the executor batch size dynamically
+	// for ModeConcurrent and ModeExact (overriding Batch); other modes
+	// ignore it. relaxd's adaptive controller shares one across the worker
+	// pool so in-flight executions follow its batch decisions.
+	Tunable *core.TunableOptions
 }
 
 // RunResult is the outcome of Descriptor.RunMode.
@@ -198,6 +203,7 @@ func (d *Descriptor) RunModeContext(ctx context.Context, g *graph.Graph, cfg Run
 			BatchSize: cfg.Batch,
 			Policy:    core.Reinsert,
 			Cancel:    ctx.Done(),
+			Tunable:   cfg.Tunable,
 		})
 	case ModeExact:
 		if cfg.Threads < 1 {
@@ -220,6 +226,7 @@ func (d *Descriptor) RunModeContext(ctx context.Context, g *graph.Graph, cfg Run
 			BatchSize: cfg.Batch,
 			Policy:    policy,
 			Cancel:    ctx.Done(),
+			Tunable:   cfg.Tunable,
 		})
 	default:
 		return RunResult{}, fmt.Errorf("unknown mode %q", cfg.Mode)

@@ -111,6 +111,10 @@ type ConcOptions struct {
 	// Done channel fits directly); the run then returns core.ErrCanceled.
 	// Long-running services use it to abort in-flight jobs on shutdown.
 	Cancel <-chan struct{}
+	// Tunable, when non-nil, supplies the executor batch size dynamically
+	// (overriding BatchSize): workers re-read it every batch episode, which
+	// is how relaxd's adaptive controller retunes in-flight executions.
+	Tunable *core.TunableOptions
 }
 
 // Output is the result of one execution of a workload.

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Dead-link check over the repository's markdown: every relative link in a
+# tracked *.md file must point at a file or directory that exists.
+# Scheme-qualified links (http:, https:, mailto:) and pure #anchors are
+# skipped; #fragments on relative links are stripped before the check.
+# Exits 1 listing every dead link found. Run from the repository root
+# (make doc does).
+fail=0
+for f in $(git ls-files '*.md'); do
+	dir=$(dirname "$f")
+	for target in $(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//' -e 's/#.*$//'); do
+		case $target in
+		'' | http://* | https://* | mailto:*) continue ;;
+		esac
+		if [ ! -e "$dir/$target" ]; then
+			echo "$f: dead link -> $target" >&2
+			fail=1
+		fi
+	done
+done
+if [ $fail -eq 0 ]; then
+	echo "check-md-links: all relative markdown links resolve"
+fi
+exit $fail
