@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench sweep bench-smoke fuzz-smoke serve serve-smoke serve-cluster serve-cluster-smoke fmt fmt-check vet lint doc check
+.PHONY: build test race bench sweep bench-smoke benchdiff profile fuzz-smoke serve serve-smoke serve-cluster serve-cluster-smoke fmt fmt-check vet lint doc check
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,33 @@ bench-smoke:
 	$(GO) run ./cmd/relaxbench -sweep -algo pagerank -class hundredk -tol 1e-6 -trials 1 -batches 16,64 \
 		-append -json BENCH_concurrent.json \
 		-baseline /tmp/relaxsched-bench-baseline.json -max-regression 0.25
+
+# Old-vs-new benchmark diff over the pinned hot-path set (multiqueue churn,
+# worker-affine handle churn, 1-worker concurrent sssp and pagerank): the
+# base ref (BASE, default origin/main) is benchmarked in a throwaway git
+# worktree and compared against the working tree. Fails on a >25% median
+# ns/op regression in any benchmark present in both trees; uses benchstat
+# for the statistics table when installed (CI installs it). See
+# EXPERIMENTS.md "Profiling methodology" for reading the output.
+benchdiff:
+	BENCHDIFF_BASE="$(BASE)" ./scripts/benchdiff.sh
+
+# CPU+heap profile of a relaxbench run rendered as pprof top-25 tables.
+# Defaults to the concurrent MIS panel on the hundredk class; override with
+# e.g. `make profile PROFILE_ARGS="-algo sssp -class grid -threads 2"`.
+# Raw profiles stay in /tmp/relaxsched-profile for interactive `go tool
+# pprof` sessions.
+PROFILE_ARGS ?= -class hundredk -threads 1,2 -trials 1
+PROFILE_DIR ?= /tmp/relaxsched-profile
+profile: build
+	@mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/relaxbench $(PROFILE_ARGS) \
+		-cpuprofile $(PROFILE_DIR)/cpu.pprof -memprofile $(PROFILE_DIR)/mem.pprof
+	@echo "--- CPU profile (top 25 by cumulative time) ---"
+	$(GO) tool pprof -top -nodecount=25 -cum $(PROFILE_DIR)/cpu.pprof
+	@echo "--- Heap profile (top 25 by in-use space) ---"
+	$(GO) tool pprof -top -nodecount=25 -inuse_space $(PROFILE_DIR)/mem.pprof
+	@echo "profiles written to $(PROFILE_DIR)/{cpu,mem}.pprof"
 
 # Run the relaxd job service locally on the default port. Submit with e.g.
 #   curl -s localhost:8080/v1/jobs -d '{"workload":"mis","mode":"concurrent",

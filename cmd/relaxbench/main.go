@@ -30,6 +30,11 @@
 //	relaxbench -vertices 100000 -edges 1000000 -threads 1,2,4
 //	relaxbench -sweep -batches 1,16,64 -json sweep.json
 //	relaxbench -sweep -baseline BENCH_concurrent.json -max-regression 0.25
+//	relaxbench -class sparse -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run
+// (panel or sweep); `make profile` wraps this with a rendered top-N report.
+// Profile paths are validated before any benchmark work starts.
 package main
 
 import (
@@ -53,7 +58,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("relaxbench", flag.ContinueOnError)
 	var (
 		algoCSV       = fs.String("algo", "mis", "comma-separated workloads: mis (Figure 2), coloring, matching, sssp, kcore, pagerank")
@@ -74,6 +79,8 @@ func run(args []string, out io.Writer) error {
 		appendJSON    = fs.Bool("append", false, "merge -sweep reports into the existing -json file, replacing matching (class, algorithm) entries")
 		baseline      = fs.String("baseline", "", "baseline sweep JSON to gate against (with -sweep): fail on relaxed-scheduler throughput regression")
 		maxRegression = fs.Float64("max-regression", 0.25, "largest tolerated fractional throughput drop versus -baseline")
+		cpuProfile    = fs.String("cpuprofile", "", "write a pprof CPU profile covering the whole run (panels or -sweep) to this file")
+		memProfile    = fs.String("memprofile", "", "write a pprof heap profile, snapshotted after the run, to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,6 +156,19 @@ func run(args []string, out io.Writer) error {
 	if !*sweep && *appendJSON {
 		return fmt.Errorf("-append requires -sweep")
 	}
+	if *cpuProfile != "" && *cpuProfile == *memProfile {
+		return fmt.Errorf("-cpuprofile and -memprofile must be distinct files")
+	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
 	if *sweep {
 		if *batch != 0 && *batchesCSV != "" {
 			return fmt.Errorf("-batch and -batches are mutually exclusive with -sweep")

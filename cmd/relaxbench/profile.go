@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles opens and starts the requested pprof outputs. Both paths are
+// validated eagerly: an unwritable path fails here, before any benchmark work
+// runs, instead of discarding a finished sweep at exit. Either path may be
+// empty (that profile is skipped). The returned stop function finishes the
+// CPU profile and takes the heap snapshot; call it exactly once, after the
+// measured work.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	var memFile *os.File
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			// Undo the started CPU profile so the process (and the next run()
+			// call in tests) is back in a clean state.
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		memFile = f
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memFile != nil {
+			// Collect garbage first so the snapshot shows steady-state
+			// retention, not whatever the last trial left unreclaimed.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("-memprofile: %w", err)
+			}
+			if err := memFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

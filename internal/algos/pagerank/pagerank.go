@@ -281,11 +281,16 @@ func (p *seqProblem) Expand(task int32, _ uint32, em *core.Emitter) {
 		return
 	}
 	share := p.alpha * rho / float64(deg)
+	// One contiguous scan of the CSR neighbors run; hoisting the residual
+	// and lastEmit slices keeps the loop body free of pointer re-loads so
+	// the only irregular accesses are the per-neighbor residual updates the
+	// scan drives.
+	residual, lastEmit := p.residual, p.lastEmit
 	for _, u := range p.g.Neighbors(v) {
-		old := p.residual[u]
+		old := residual[u]
 		nu := old + share
-		p.residual[u] = nu
-		if q, emit := bump(old, nu, p.theta, &p.lastEmit[u]); emit {
+		residual[u] = nu
+		if q, emit := bump(old, nu, p.theta, &lastEmit[u]); emit {
 			em.Emit(u, q)
 		}
 	}
@@ -365,8 +370,11 @@ func (p *concProblem) Expand(task int32, _ uint32, em *core.Emitter) {
 		return
 	}
 	share := p.alpha * rho / float64(deg)
+	// Contiguous neighbors scan with the residual slice hoisted, mirroring
+	// seqProblem.Expand; the CAS add is the loop's only synchronization.
+	residual := p.residual
 	for _, u := range p.g.Neighbors(v) {
-		old := addFloat(&p.residual[u], share)
+		old := addFloat(&residual[u], share)
 		p.bumpAtomic(u, old, old+share, em)
 	}
 }

@@ -82,9 +82,10 @@ func Dijkstra(g *graph.Graph, w *graph.Weights, src int) ([]uint32, error) {
 		if e.d > dist[e.v] {
 			continue
 		}
-		base := g.AdjOffset(int(e.v))
-		for i, u := range g.Neighbors(int(e.v)) {
-			nd := e.d + w.At(base+i)
+		nbrs := g.Neighbors(int(e.v))
+		wts := w.Range(g.AdjOffset(int(e.v)), len(nbrs))
+		for i, u := range nbrs {
+			nd := e.d + wts[i]
 			if nd < dist[u] {
 				dist[u] = nd
 				h.push(distEntry{v: u, d: nd})
@@ -113,11 +114,17 @@ func (p *seqProblem) Stale(task int32, priority uint32) bool {
 func (p *seqProblem) Expand(task int32, _ uint32, em *core.Emitter) {
 	v := int(task)
 	d := p.dist[v]
-	base := p.g.AdjOffset(v)
-	for i, u := range p.g.Neighbors(v) {
-		nd := d + p.w.At(base+i)
-		if nd < p.dist[u] {
-			p.dist[u] = nd
+	// One contiguous scan of the CSR neighbors run and its aligned weights
+	// run: the two streams advance together (hardware prefetch keeps them in
+	// cache), the only irregular accesses are the dist reads they drive, and
+	// equal slice lengths let the compiler drop per-edge bounds checks.
+	nbrs := p.g.Neighbors(v)
+	wts := p.w.Range(p.g.AdjOffset(v), len(nbrs))
+	dist := p.dist
+	for i, u := range nbrs {
+		nd := d + wts[i]
+		if nd < dist[u] {
+			dist[u] = nd
 			em.Emit(u, nd/p.delta)
 		}
 	}
@@ -143,15 +150,19 @@ func (p *concProblem) Stale(task int32, priority uint32) bool {
 func (p *concProblem) Expand(task int32, _ uint32, em *core.Emitter) {
 	v := int(task)
 	d := p.dist[v].Load()
-	base := p.g.AdjOffset(v)
-	for i, u := range p.g.Neighbors(v) {
-		nd := d + p.w.At(base+i)
+	// Same contiguous neighbors+weights scan as the sequential problem (see
+	// seqProblem.Expand); the CAS-minimum loop is per improved edge only.
+	nbrs := p.g.Neighbors(v)
+	wts := p.w.Range(p.g.AdjOffset(v), len(nbrs))
+	dist := p.dist
+	for i, u := range nbrs {
+		nd := d + wts[i]
 		for {
-			cur := p.dist[u].Load()
+			cur := dist[u].Load()
 			if nd >= cur {
 				break
 			}
-			if p.dist[u].CompareAndSwap(cur, nd) {
+			if dist[u].CompareAndSwap(cur, nd) {
 				em.Emit(u, nd/p.delta)
 				break
 			}

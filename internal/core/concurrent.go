@@ -188,8 +188,17 @@ func RunConcurrent(p Problem, labels []uint32, s sched.Concurrent, opts Concurre
 func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, batch int, tun *TunableOptions, total int64, states []workerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
 	ws := &states[self]
 	wr := &ws.WorkerResult
-	buf := make([]sched.Item, batch)
-	reinsert := make([]sched.Item, 0, batch)
+	// The worker-affine scheduler view and the pooled pop/re-insert buffers
+	// — see runDynamicWorker, which does the same.
+	s = sched.ForWorker(s, self, len(states))
+	sc := getScratch(batch)
+	buf := sc.buf
+	reinsert := sc.aux
+	defer func() {
+		sc.buf = buf
+		sc.aux = reinsert
+		putScratch(sc)
+	}()
 	var backoff idleBackoff
 	var unpublished int64
 
@@ -261,6 +270,7 @@ func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, 
 			wr.Processed++
 			unpublished++
 		}
+		allBlocked := len(reinsert) == len(items)
 		if len(reinsert) > 0 {
 			s.InsertBatch(reinsert)
 			reinsert = reinsert[:0]
@@ -268,6 +278,21 @@ func runWorker(inst Instance, st *concState, s sched.Concurrent, policy Policy, 
 		if unpublished != 0 {
 			ws.resolved.Add(unpublished)
 			unpublished = 0
+		}
+		if allBlocked && len(states) > 1 {
+			// Every task in the episode was a failed delete: each one waits on
+			// a blocker another worker holds in flight, so re-popping
+			// immediately would spin on the same minima until that worker runs
+			// again — with more goroutines than cores, potentially a whole
+			// scheduling slice of pure churn (the worker-affine multiqueue's
+			// extra sampling accuracy makes it especially good at re-finding
+			// the blocked minima it just re-inserted). Yield the P so the
+			// blocker's owner can finish; on real parallel hardware blockers
+			// resolve in microseconds and a zero-progress episode is rare.
+			// With a single worker the blockers are still IN the scheduler —
+			// spinning is productive (later pops deliver them) and yielding
+			// would only hand the P to unrelated goroutines, so don't.
+			runtime.Gosched()
 		}
 	}
 }

@@ -142,7 +142,8 @@ func RunDynamic(p DynamicProblem, seeds []sched.Item, s sched.Scheduler) (Dynami
 		s.Insert(it)
 	}
 	var st DynamicStats
-	em := &Emitter{}
+	em := getEmitter()
+	defer putEmitter(em)
 	for !p.Done() {
 		it, ok := s.ApproxGetMin()
 		if !ok {
@@ -261,8 +262,21 @@ func RunDynamicConcurrent(p DynamicProblem, seeds []sched.Item, s sched.Concurre
 
 func runDynamicWorker(p DynamicProblem, s sched.Concurrent, batch int, tun *TunableOptions, seeded int64, states []dynWorkerState, self int, cancel <-chan struct{}, canceled *atomic.Bool) {
 	ws := &states[self]
-	buf := make([]sched.Item, batch)
-	em := &Emitter{Worker: self, items: make([]sched.Item, 0, 2*batch)}
+	// The worker's view of the scheduler: the worker-affine handle when the
+	// scheduler keeps per-worker state (the MultiQueue's home shards and
+	// private random streams), the shared scheduler otherwise.
+	s = sched.ForWorker(s, self, len(states))
+	// Pop buffer and emitter come from the cross-run scratch pool, so a
+	// steady stream of executions reuses warm buffers instead of re-making
+	// them per run.
+	sc := getScratch(batch)
+	buf := sc.buf
+	em := &sc.em
+	em.Worker = self
+	defer func() {
+		sc.buf = buf
+		putScratch(sc)
+	}()
 	var backoff idleBackoff
 	// resolved counts items handled (expanded or dropped as stale) whose -1
 	// has not been published yet. Unpublished resolutions only make the

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops puts at random to expose reuse races, so
+// allocation-count assertions on pooled paths are not meaningful.
+const raceEnabled = true

@@ -59,6 +59,14 @@ func UnitWeights(g *Graph) *Weights {
 // by Graph.AdjOffset plus the neighbor position).
 func (ws *Weights) At(i int) uint32 { return ws.w[i] }
 
+// Range returns the weight entries of the adjacency run starting at flat
+// index base with n entries — aligned index-for-index with
+// Graph.Neighbors(v) when base is Graph.AdjOffset(v) and n its degree. Hot
+// loops use it to scan one vertex's weights as a single bounds-checked
+// slice alongside the neighbors slice instead of calling At per edge. The
+// returned slice aliases the weight storage and must not be modified.
+func (ws *Weights) Range(base, n int) []uint32 { return ws.w[base : base+n] }
+
 // Len returns the number of weight entries (equal to the graph's
 // NumAdjEntries).
 func (ws *Weights) Len() int { return len(ws.w) }

@@ -122,6 +122,74 @@ func (m *ConcurrentInstrumented) ApproxPopBatch(out []Item) int {
 	return n
 }
 
+// WorkerHandle forwards worker affinity to the inner scheduler when it
+// supports it, so measured executions exercise the same affine insert, pop
+// and steal paths as production ones; measurement still serializes behind
+// the shared instrumentation lock. An inner scheduler without worker-affine
+// state gets the wrapper itself back, exactly like sched.ForWorker.
+func (m *ConcurrentInstrumented) WorkerHandle(worker, workers int) Concurrent {
+	pw, ok := m.inner.(PerWorker)
+	if !ok {
+		return m
+	}
+	return &instrumentedHandle{parent: m, inner: pw.WorkerHandle(worker, workers)}
+}
+
+var _ PerWorker = (*ConcurrentInstrumented)(nil)
+
+// instrumentedHandle records a worker's affine operations through the parent
+// wrapper's measurement state. Like every worker handle it must only be used
+// by its one worker, but the measurement lock makes the recording itself
+// safe alongside other workers' handles.
+type instrumentedHandle struct {
+	parent *ConcurrentInstrumented
+	inner  Concurrent
+}
+
+func (h *instrumentedHandle) Insert(it Item) {
+	m := h.parent
+	m.mu.Lock()
+	m.recordInsert(it)
+	h.inner.Insert(it)
+	m.mu.Unlock()
+}
+
+func (h *instrumentedHandle) InsertBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	m := h.parent
+	m.mu.Lock()
+	for _, it := range items {
+		m.recordInsert(it)
+	}
+	h.inner.InsertBatch(items)
+	m.mu.Unlock()
+}
+
+func (h *instrumentedHandle) ApproxGetMin() (Item, bool) {
+	m := h.parent
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	it, ok := h.inner.ApproxGetMin()
+	if !ok {
+		return it, false
+	}
+	m.recordRemoval(it)
+	return it, true
+}
+
+func (h *instrumentedHandle) ApproxPopBatch(out []Item) int {
+	m := h.parent
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := h.inner.ApproxPopBatch(out)
+	for _, it := range out[:n] {
+		m.recordRemoval(it)
+	}
+	return n
+}
+
 // Metrics returns the relaxation statistics accumulated so far. It is safe
 // to call concurrently with operations, but the snapshot is only fully
 // consistent once the execution has finished.

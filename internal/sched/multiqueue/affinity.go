@@ -1,0 +1,266 @@
+package multiqueue
+
+import (
+	"relaxsched/internal/rng"
+	"relaxsched/internal/sched"
+)
+
+// This file implements the worker-affine fast path of the concurrent
+// MultiQueue. A plain Concurrent treats every operation as coming from an
+// anonymous thread: each insert and each two-choice sample draws from the
+// full sub-queue range, and each operation borrows a random generator from a
+// sync.Pool. Both choices cost real cross-core traffic in the executor hot
+// loop — uniformly random sub-queue choice bounces every worker across every
+// sub-queue's cache lines, and the pool get/put is two more shared-memory
+// operations per scheduler call.
+//
+// A Handle gives one executor worker an affine view: a contiguous "home"
+// slice of sub-queues that the worker's two-choice pop samples prefer, a
+// private random stream (zero pool traffic), and a steal path that visits
+// the other workers' shards in ring order — nearest neighbor first — when
+// the home shard runs dry, before falling back to the parent's global
+// sampling. Because each worker's pops mostly touch its own c/W sub-queues,
+// the sub-queue locks and heap storage stay core-local; because a worker
+// whose shard empties immediately steals, no items are stranded and the
+// load rebalances at exactly the moment imbalance appears.
+//
+// What happens to the relaxation guarantee: affinity alone would break it.
+// If a worker only ever sampled its own shard while the shard had items, the
+// minima accumulating in a slow (or descheduled) worker's shard would age
+// unboundedly — on a box with fewer cores than workers this is the common
+// case, and the integration envelopes catch it immediately. The handle
+// therefore keeps the classic MultiQueue coverage property: every pop
+// attempt compares the best of two home samples against the best of one
+// round of CLASSIC two-choice over the full queue range (the "cross-shard
+// glance"), popping whichever hint is smaller with ties kept home. Whenever
+// the glance wins, the pop is exactly a uniform two-choice pop — every
+// sub-queue keeps its classic >= 1/c-per-pop global sampling coverage — and
+// whenever home wins, popping the strictly smaller minimum is rank-optimal
+// for that removal; the Definition 1 envelope is preserved with modestly
+// larger constants. Inserts likewise stay uniform over the full range
+// (shard-confined inserts concentrate a worker's emitted priorities W-fold
+// and measurably break the envelope under batched draining). The
+// integration suite pins the envelope empirically with affinity enabled,
+// and the steal tests in steal_test.go pin the empty-shard drain order
+// deterministically.
+type Handle struct {
+	mq *Concurrent
+	r  *rng.Rand
+	// The home shard is queues[homeLo : homeLo+homeN].
+	homeLo  int
+	homeN   int
+	worker  int
+	workers int
+	one     [1]sched.Item
+}
+
+var _ sched.Concurrent = (*Handle)(nil)
+
+// WorkerHandle returns worker's affine view of the MultiQueue for an
+// execution with the given total worker count: the sub-queue range is
+// partitioned into `workers` contiguous, balanced home shards and the handle
+// owns the shard of `worker`. Degenerate arguments are clamped (at most one
+// worker per sub-queue, worker taken modulo the worker count), so the method
+// never fails; a handle is cheap enough to acquire once per worker per run.
+// The returned handle is NOT safe for concurrent use — it is the per-worker
+// half of sched.PerWorker.
+func (m *Concurrent) WorkerHandle(worker, workers int) sched.Concurrent {
+	c := len(m.queues)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > c {
+		workers = c
+	}
+	if worker < 0 {
+		worker = -worker
+	}
+	worker %= workers
+	lo := worker * c / workers
+	hi := (worker + 1) * c / workers
+	return &Handle{
+		mq:      m,
+		r:       rng.New(m.seed.Add(0x9e3779b97f4a7c15)),
+		homeLo:  lo,
+		homeN:   hi - lo,
+		worker:  worker,
+		workers: workers,
+	}
+}
+
+// Insert pushes the item into a uniformly random sub-queue over the FULL
+// queue range, exactly like the parent — but drawn from the handle's private
+// stream, so the per-operation sync.Pool traffic is gone. Inserts are
+// deliberately NOT shard-affine: confining a worker's inserts to its c/W
+// home queues concentrates its emitted priorities W-fold, and the
+// Definition 1 integration envelopes measurably blow up when the batched
+// executor replays that concentration (a batch removal drains one sub-queue
+// deep). Uniform insert spreading is what the classic MultiQueue rank
+// analysis assumes; the locality win lives on the pop side, where it is
+// envelope-safe.
+func (h *Handle) Insert(it sched.Item) {
+	h.one[0] = it
+	h.mq.insertRun(h.r.Intn(len(h.mq.queues)), h.one[:])
+	h.mq.size.Add(1)
+}
+
+// InsertBatch pushes the items into uniformly random sub-queues over the
+// full queue range in runs of insertRunLength — the parent's amortization
+// and distribution, driven by the handle's private random stream (no pool
+// get/put). See Insert for why handle inserts are not shard-affine.
+func (h *Handle) InsertBatch(items []sched.Item) {
+	if len(items) == 0 {
+		return
+	}
+	h.mq.insertBatchWith(h.r, 0, len(h.mq.queues), items)
+}
+
+// ApproxGetMin removes one item via the affine pop path.
+func (h *Handle) ApproxGetMin() (sched.Item, bool) {
+	if h.popAffine(h.one[:]) == 1 {
+		return h.one[0], true
+	}
+	return sched.Item{}, false
+}
+
+// ApproxPopBatch removes up to len(out) items via the affine pop path: home
+// two-choice first, then the neighbor steal ring, then the parent's global
+// sampling with its exhaustive-scan backstop — so a zero result carries the
+// same "really empty right now" strength as the parent's.
+func (h *Handle) ApproxPopBatch(out []sched.Item) int {
+	return h.popAffine(out)
+}
+
+// popAffine is the worker-affine removal path.
+func (h *Handle) popAffine(out []sched.Item) int {
+	m := h.mq
+	if len(out) == 0 {
+		return 0
+	}
+	if m.size.Load() == 0 {
+		m.emptyPolls.Add(1)
+		return 0
+	}
+	// Home-shard two-choice with a bounded number of attempts; a locked
+	// sub-queue (the neighbor shard's owner stealing from us) just costs a
+	// fresh sample.
+	const maxHomeAttempts = 4
+	for attempt := 0; attempt < maxHomeAttempts; attempt++ {
+		idx := h.sampleHome()
+		if idx < 0 {
+			break // home hints say the shard is empty: steal
+		}
+		// Cross-shard glance: run one round of CLASSIC two-choice over the
+		// full queue range and take whichever candidate's hint is smaller,
+		// ties staying home. When home does not hold the strictly smaller
+		// minimum the pop is exactly a uniform two-choice pop, so the classic
+		// rank analysis applies unchanged; when home is strictly smaller,
+		// popping it is rank-optimal for this removal. A single-sample glance
+		// is NOT enough — best-of-two-home versus one global draw is biased
+		// toward home even under identical queue distributions, and the
+		// integration envelopes catch the resulting cross-shard aging.
+		if g := h.sampleGlobal(); g >= 0 && m.queues[g].top.Load() < m.queues[idx].top.Load() {
+			idx = g
+		}
+		q := &m.queues[idx]
+		if !q.mu.TryLock() {
+			continue
+		}
+		n := m.popBatchFrom(q, out)
+		q.mu.Unlock()
+		if n > 0 {
+			return n
+		}
+	}
+	if n := h.steal(out); n > 0 {
+		m.steals.Add(1)
+		return n
+	}
+	m.globalFallbacks.Add(1)
+	return m.popAny(out)
+}
+
+// sampleHome runs two-choice sampling restricted to the home shard: it picks
+// two distinct home sub-queues (or the single one, for one-queue shards) and
+// returns the index of the one with the smaller min-hint, or -1 when every
+// sampled hint is empty.
+func (h *Handle) sampleHome() int {
+	m := h.mq
+	if h.homeN == 1 {
+		if m.queues[h.homeLo].top.Load() == emptyHint {
+			return -1
+		}
+		return h.homeLo
+	}
+	ri := h.r.Intn(h.homeN)
+	rj := h.r.Intn(h.homeN - 1)
+	if rj >= ri {
+		rj++
+	}
+	i, j := h.homeLo+ri, h.homeLo+rj
+	ti := m.queues[i].top.Load()
+	tj := m.queues[j].top.Load()
+	switch {
+	case tj < ti:
+		return j
+	case ti == emptyHint && tj == emptyHint:
+		return -1
+	default:
+		return i
+	}
+}
+
+// sampleGlobal runs one round of uniform two-choice over the FULL sub-queue
+// range using the handle's private stream: two distinct queues, returning the
+// index of the one with the smaller hint, or -1 when both sampled hints are
+// empty. It is the cross-shard half of the affine pop's comparison.
+func (h *Handle) sampleGlobal() int {
+	m := h.mq
+	c := len(m.queues)
+	i := h.r.Intn(c)
+	j := h.r.Intn(c - 1)
+	if j >= i {
+		j++
+	}
+	ti := m.queues[i].top.Load()
+	tj := m.queues[j].top.Load()
+	switch {
+	case tj < ti:
+		return j
+	case ti == emptyHint && tj == emptyHint:
+		return -1
+	default:
+		return i
+	}
+}
+
+// steal visits the other workers' home shards in ring order of distance —
+// the nearest neighbor's shard first — and pops from the first sub-queue
+// whose hint shows items. Hints are checked before locking, so scanning a
+// run of empty shards costs one atomic load per sub-queue and no lock
+// traffic.
+func (h *Handle) steal(out []sched.Item) int {
+	m := h.mq
+	c := len(m.queues)
+	for d := 1; d < h.workers; d++ {
+		w := h.worker + d
+		if w >= h.workers {
+			w -= h.workers
+		}
+		lo := w * c / h.workers
+		hi := (w + 1) * c / h.workers
+		for idx := lo; idx < hi; idx++ {
+			q := &m.queues[idx]
+			if q.top.Load() == emptyHint {
+				continue
+			}
+			q.mu.Lock()
+			n := m.popBatchFrom(q, out)
+			q.mu.Unlock()
+			if n > 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}

@@ -19,6 +19,7 @@ package multiqueue
 
 import (
 	"math"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 
@@ -140,11 +141,54 @@ func packItem(it sched.Item) uint64 {
 // Concurrent is the thread-safe MultiQueue. Every sub-queue has its own
 // mutex-protected heap and an atomic hint of its current minimum so that
 // ApproxGetMin can compare two queues without locking either.
+//
+// Concurrent additionally implements sched.PerWorker: an executor worker can
+// acquire a worker-affine Handle whose operations prefer a contiguous home
+// slice of sub-queues and whose random stream is private (no sync.Pool
+// traffic in the hot loop). See WorkerHandle.
 type Concurrent struct {
 	queues []concurrentSubqueue
 	size   atomic.Int64
 	seed   atomic.Uint64
-	rands  sync.Pool
+	// rands supplies the seeded generators that drive batch inserts and
+	// worker handles. Per-operation paths (Insert, ApproxGetMin,
+	// ApproxPopBatch) use math/rand/v2's runtime-backed per-P generator
+	// instead: queue *choice* needs no seeded stream, and a pool get/put per
+	// operation was measurable shared-memory traffic in the pop hot loop.
+	rands sync.Pool
+
+	// Slow-path counters behind Stats. They are touched only off the fast
+	// path — when a pop finds nothing, leaves its home shard, or falls back
+	// to global sampling — so plain atomics do not contend with useful work.
+	steals          atomic.Int64
+	emptyPolls      atomic.Int64
+	globalFallbacks atomic.Int64
+}
+
+// Stats is a snapshot of the MultiQueue's slow-path counters. All counters
+// are cumulative since construction.
+type Stats struct {
+	// Steals counts pops served from another worker's shard after the
+	// popping worker found its own home shard empty (worker-affine handles
+	// only).
+	Steals int64
+	// EmptyPolls counts removal attempts that found nothing anywhere — the
+	// size fast path saw zero, or the exhaustive scan of every sub-queue
+	// came up empty.
+	EmptyPolls int64
+	// GlobalFallbacks counts affine pops that fell through both the home
+	// shard and the steal ring into global two-choice sampling.
+	GlobalFallbacks int64
+}
+
+// Stats returns a snapshot of the scheduler's slow-path counters. It is safe
+// to call concurrently with operations.
+func (m *Concurrent) Stats() Stats {
+	return Stats{
+		Steals:          m.steals.Load(),
+		EmptyPolls:      m.emptyPolls.Load(),
+		GlobalFallbacks: m.globalFallbacks.Load(),
+	}
 }
 
 type concurrentSubqueue struct {
@@ -155,6 +199,7 @@ type concurrentSubqueue struct {
 }
 
 var _ sched.Concurrent = (*Concurrent)(nil)
+var _ sched.PerWorker = (*Concurrent)(nil)
 
 // NewConcurrent returns a concurrent MultiQueue with c sub-queues (values
 // below 2 are raised to 2, since two-choice sampling needs at least two
@@ -196,17 +241,41 @@ func (m *Concurrent) NumQueues() int { return len(m.queues) }
 
 // Insert pushes the item into a uniformly random sub-queue.
 func (m *Concurrent) Insert(it sched.Item) {
-	r := m.rands.Get().(*rng.Rand)
-	idx := r.Intn(len(m.queues))
-	m.rands.Put(r)
-	q := &m.queues[idx]
+	q := &m.queues[rand.IntN(len(m.queues))]
 	q.mu.Lock()
 	q.heap.Insert(it)
-	if top, ok := q.heap.Peek(); ok {
-		q.top.Store(packItem(top))
+	// The hint equals the heap minimum whenever the lock is free, so after an
+	// insert it only moves if the new item became that minimum — comparing
+	// packed values elides the atomic store (and a heap peek) in the common
+	// case of a non-minimal insert.
+	if p := packItem(it); p < q.top.Load() {
+		q.top.Store(p)
 	}
 	q.mu.Unlock()
 	m.size.Add(1)
+}
+
+// insertRun pushes a run of items into sub-queue idx under one lock
+// acquisition with one hint update. The shared size counter is NOT updated;
+// callers amortize one size.Add over all their runs.
+func (m *Concurrent) insertRun(idx int, run []sched.Item) {
+	q := &m.queues[idx]
+	best := uint64(emptyHint)
+	for _, it := range run {
+		if p := packItem(it); p < best {
+			best = p
+		}
+	}
+	q.mu.Lock()
+	for _, it := range run {
+		q.heap.Insert(it)
+	}
+	// Same elision as Insert: the hint only moves if the run's minimum beats
+	// the pre-insert heap minimum.
+	if best < q.top.Load() {
+		q.top.Store(best)
+	}
+	q.mu.Unlock()
 }
 
 // insertRunLength is how many items of a batch share one randomly chosen
@@ -219,32 +288,33 @@ const insertRunLength = 4
 
 // InsertBatch pushes the items into uniformly random sub-queues in runs of
 // insertRunLength, amortizing one lock acquisition and one hint update over
-// each run. Per-item queue choice stays uniform (choices within a run are
-// merely correlated), so the exponential tail shape of Definition 1 is
-// preserved with modestly larger constants.
+// each run and one shared size update over the whole batch. Per-item queue
+// choice stays uniform (choices within a run are merely correlated), so the
+// exponential tail shape of Definition 1 is preserved with modestly larger
+// constants. The size counter is published once after the last run; the
+// window in which inserted items are poppable but uncounted can only make
+// concurrent removers see a transiently small (even negative) size, which
+// the Concurrent contract already treats as an unreliable emptiness hint.
 func (m *Concurrent) InsertBatch(items []sched.Item) {
 	if len(items) == 0 {
 		return
 	}
 	r := m.rands.Get().(*rng.Rand)
 	defer m.rands.Put(r)
+	m.insertBatchWith(r, 0, len(m.queues), items)
+}
+
+// insertBatchWith is the shared batch-insert loop: runs of insertRunLength
+// into random sub-queues drawn from [lo, hi), one size publish at the end.
+func (m *Concurrent) insertBatchWith(r *rng.Rand, lo, hi int, items []sched.Item) {
 	for start := 0; start < len(items); start += insertRunLength {
 		end := start + insertRunLength
 		if end > len(items) {
 			end = len(items)
 		}
-		run := items[start:end]
-		q := &m.queues[r.Intn(len(m.queues))]
-		q.mu.Lock()
-		for _, it := range run {
-			q.heap.Insert(it)
-		}
-		if top, ok := q.heap.Peek(); ok {
-			q.top.Store(packItem(top))
-		}
-		q.mu.Unlock()
-		m.size.Add(int64(len(run)))
+		m.insertRun(lo+r.Intn(hi-lo), items[start:end])
 	}
+	m.size.Add(int64(len(items)))
 }
 
 // ApproxPopBatch samples two distinct sub-queues like ApproxGetMin and pops
@@ -254,12 +324,14 @@ func (m *Concurrent) InsertBatch(items []sched.Item) {
 // back to scanning every queue, so a zero result strongly indicates the
 // MultiQueue is (momentarily) empty.
 func (m *Concurrent) ApproxPopBatch(out []sched.Item) int {
-	if len(out) == 0 || m.size.Load() == 0 {
+	if len(out) == 0 {
 		return 0
 	}
-	r := m.rands.Get().(*rng.Rand)
-	defer m.rands.Put(r)
-	return m.popAny(r, out)
+	if m.size.Load() == 0 {
+		m.emptyPolls.Add(1)
+		return 0
+	}
+	return m.popAny(out)
 }
 
 // ApproxGetMin samples two distinct sub-queues, compares their atomic
@@ -269,12 +341,11 @@ func (m *Concurrent) ApproxPopBatch(out []sched.Item) int {
 // return strongly indicates the MultiQueue is (momentarily) empty.
 func (m *Concurrent) ApproxGetMin() (sched.Item, bool) {
 	if m.size.Load() == 0 {
+		m.emptyPolls.Add(1)
 		return sched.Item{}, false
 	}
-	r := m.rands.Get().(*rng.Rand)
-	defer m.rands.Put(r)
 	var one [1]sched.Item
-	if m.popAny(r, one[:]) == 1 {
+	if m.popAny(one[:]) == 1 {
 		return one[0], true
 	}
 	return sched.Item{}, false
@@ -284,10 +355,10 @@ func (m *Concurrent) ApproxGetMin() (sched.Item, bool) {
 // with a bounded number of attempts (skipping locked or empty-looking
 // queues), then a full locked scan so a zero result is only returned when
 // every queue really had nothing to give.
-func (m *Concurrent) popAny(r *rng.Rand, out []sched.Item) int {
+func (m *Concurrent) popAny(out []sched.Item) int {
 	const maxAttempts = 8
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		idx := m.sampleQueue(r)
+		idx := m.sampleQueue()
 		if idx < 0 {
 			continue
 		}
@@ -310,16 +381,23 @@ func (m *Concurrent) popAny(r *rng.Rand, out []sched.Item) int {
 			return n
 		}
 	}
+	m.emptyPolls.Add(1)
 	return 0
 }
 
-// sampleQueue picks two distinct sub-queues uniformly at random and returns
-// the index of the one with the smaller min-hint, or -1 when both sampled
-// hints are empty.
-func (m *Concurrent) sampleQueue(r *rng.Rand) int {
+// sampleQueue picks two distinct sub-queues uniformly at random (via the
+// runtime's per-P generator — no shared state) and returns the index of the
+// one with the smaller min-hint, or -1 when both sampled hints are empty.
+func (m *Concurrent) sampleQueue() int {
 	c := len(m.queues)
-	i := r.Intn(c)
-	j := r.Intn(c - 1)
+	// One generator call yields both choices: the halves of a Uint64 are
+	// independent, and each is range-reduced with a multiply-shift instead of
+	// a modulo (no 64-bit divide). The reduction's bias is immaterial for
+	// queue *selection* — c is tiny relative to 2^32 and two-choice only
+	// needs approximate uniformity.
+	v := rand.Uint64()
+	i := int((v >> 32) * uint64(c) >> 32)
+	j := int((v & 0xffffffff) * uint64(c-1) >> 32)
 	if j >= i {
 		j++
 	}

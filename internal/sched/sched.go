@@ -75,6 +75,35 @@ type Concurrent interface {
 	ApproxPopBatch(out []Item) int
 }
 
+// PerWorker is an optional extension of Concurrent implemented by schedulers
+// that keep worker-affine state — home sub-queue shards, private random
+// streams, steal paths. An executor that knows its worker index acquires a
+// handle once at worker start and issues that worker's scheduler operations
+// through it; the handle is a view of the shared scheduler (items inserted
+// through one handle are poppable through any other and through the parent),
+// but the handle itself is NOT safe for concurrent use — one handle per
+// worker. Operations on the parent scheduler remain valid and thread-safe
+// alongside handle use; executors use the parent for cross-worker work such
+// as seeding.
+type PerWorker interface {
+	Concurrent
+	// WorkerHandle returns worker's affine view of the scheduler, given the
+	// total worker count of the execution. Implementations must accept any
+	// worker in [0, workers) and clamp degenerate arguments rather than
+	// panic.
+	WorkerHandle(worker, workers int) Concurrent
+}
+
+// ForWorker returns the worker-affine handle of s when s implements
+// PerWorker, and s itself otherwise — the zero-cost adapter executors call
+// at worker start. A handle is only safe for use by its one worker.
+func ForWorker(s Concurrent, worker, workers int) Concurrent {
+	if pw, ok := s.(PerWorker); ok {
+		return pw.WorkerHandle(worker, workers)
+	}
+	return s
+}
+
 // Single is the minimal single-item concurrent scheduler interface — what
 // Concurrent looked like before batch operations existed. It is the input to
 // WithDefaultBatch and a convenient target for test doubles.
