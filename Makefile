@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench sweep bench-smoke benchdiff profile fuzz-smoke serve serve-smoke serve-cluster serve-cluster-smoke fmt fmt-check vet lint doc check
+.PHONY: build test race bench sweep bench-smoke benchdiff profile fuzz-smoke serve serve-smoke serve-cluster serve-cluster-smoke crash-smoke fmt fmt-check vet lint doc check
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 		./internal/algos/sssp/... ./internal/algos/kcore/... \
 		./internal/algos/pagerank/... ./internal/workload/... \
 		./internal/api/... ./internal/ranktrack/... \
-		./internal/control/... \
+		./internal/control/... ./internal/wal/... \
 		./internal/service/... ./cmd/relaxd/... \
 		./internal/gateway/... ./cmd/relaxgw/... \
 		./internal/integration/...
@@ -122,9 +122,20 @@ serve-cluster:
 serve-cluster-smoke:
 	RELAXSCHED_SMOKE_CLUSTER=1 $(GO) test -run '^TestClusterSmokeBinary$$' -v ./cmd/relaxgw/
 
-# 10-second fuzz of the edge-list parser, as run by CI.
+# Crash-injection smoke, as run by CI: build relaxd, run it with a
+# write-ahead log, SIGKILL it at seeded random points under load, and after
+# each restart assert zero lost acceptances and zero re-executed jobs
+# (strict run with default segments, then a compaction-churn run with tiny
+# segments), finishing with a torn-tail boot. RELAXSCHED_CRASH_SEED and
+# RELAXSCHED_CRASH_ROUNDS tune the schedule; a CI seed reproduces locally.
+crash-smoke:
+	RELAXSCHED_SMOKE_CRASH=1 $(GO) test -run '^TestCrash(ReplaySmoke|CompactionChurn)Binary$$' -v ./internal/faultinject/
+
+# 10-second fuzz of the edge-list parser and of the WAL record decoder, as
+# run by CI. (`go test -fuzz` takes one fuzz target per invocation.)
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=10s -run '^FuzzReadEdgeList$$' ./internal/graph/
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^FuzzWALDecode$$' ./internal/wal/
 
 fmt:
 	gofmt -w .

@@ -70,6 +70,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		rankSLO    = fs.Float64("rank-slo", 2, "-jobsched auto: bound on windowed mean job rank error")
 		p99SLO     = fs.Duration("p99-slo", 5*time.Second, "-jobsched auto: p99 queue-latency target")
 		ctrlEvery  = fs.Duration("control-interval", 250*time.Millisecond, "-jobsched auto: controller sampling period")
+		walDir     = fs.String("wal-dir", "", "write-ahead job log directory (empty disables durability); accepted jobs are fsynced before the 202 and replayed after a crash")
+		walSegment = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 selects the 4 MiB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +87,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		RankSLO:         *rankSLO,
 		P99SLO:          *p99SLO,
 		ControlInterval: *ctrlEvery,
+		WALDir:          *walDir,
+		WALSegmentBytes: *walSegment,
 	})
 	if err != nil {
 		return err
@@ -102,6 +106,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *jobsched == service.JobSchedAuto {
 		fmt.Fprintf(out, "relaxd: adaptive relaxation on (rank-slo=%g p99-slo=%v control-interval=%v)\n",
 			*rankSLO, *p99SLO, *ctrlEvery)
+	}
+	if *walDir != "" {
+		if w := mgr.Metrics().WAL; w != nil {
+			fmt.Fprintf(out, "relaxd: wal: logging to %s (replayed %d unfinished jobs, torn_tail=%v)\n",
+				*walDir, w.ReplayedJobs, w.TornTail)
+		}
 	}
 
 	srv := &http.Server{Handler: service.NewHandler(mgr)}

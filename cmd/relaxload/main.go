@@ -101,10 +101,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "relaxload: %d clients x %d jobs against %s (mode=%s graph=%s)\n",
 		*clients, *jobs, cfg.BaseURL, *mode, cfg.Graph.Key())
 	res, err := service.RunLoad(ctx, cfg)
+	// The report prints even when the run was cut short: the partial
+	// summary now carries the accepted-but-never-terminal count, which is
+	// the number that matters when the server went away mid-run.
+	fmt.Fprint(out, res.Format())
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(out, res.Format())
+	if res.Unfinished > 0 {
+		return fmt.Errorf("%d accepted jobs never reached a terminal state", res.Unfinished)
+	}
 	if res.Failed > 0 {
 		return fmt.Errorf("%d of %d jobs did not finish done", res.Failed, res.Jobs)
 	}

@@ -254,6 +254,177 @@ func TestErrorEnvelopeOverTheWire(t *testing.T) {
 	}
 }
 
+// TestErrorEnvelopeTable pins the full error surface of the live handler:
+// every documented code arrives with its mapped HTTP status, an intact
+// message, the retry hint if and only if one was set, and decodes on the
+// client side to a typed *Error matching IsCode. One row per code —
+// adding a code without extending this table is a test failure waiting in
+// a review.
+func TestErrorEnvelopeTable(t *testing.T) {
+	d := newFakeDispatcher()
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	oversized := `{"workload":"` + strings.Repeat("x", maxJobSpecBytes) + `"}`
+	cases := []struct {
+		name string
+		// request issues the failing call through the typed client after
+		// arming the fake, returning the error to assert on.
+		arm       func()
+		request   func() error
+		rawURL    string // matching raw request for wire-level checks
+		rawBody   string // non-empty: POST, else GET
+		wantCode  string
+		wantHTTP  int
+		wantRetry string // expected Retry-After header ("" = absent)
+	}{
+		{
+			name:     "invalid request -> 400",
+			arm:      func() { d.submitErr = Errorf(CodeInvalidRequest, "workload is required") },
+			request:  func() error { _, err := c.Submit(ctx, JobSpec{}); return err },
+			rawURL:   srv.URL + "/v1/jobs",
+			rawBody:  `{}`,
+			wantCode: CodeInvalidRequest,
+			wantHTTP: 400,
+		},
+		{
+			name:     "unknown job -> 404",
+			arm:      func() { d.submitErr = nil },
+			request:  func() error { _, err := c.Status(ctx, 404404); return err },
+			rawURL:   srv.URL + "/v1/jobs/404404",
+			wantCode: CodeUnknownJob,
+			wantHTTP: 404,
+		},
+		{
+			name:     "oversized spec -> 413",
+			arm:      func() { d.submitErr = nil },
+			request:  func() error { return asClientError(t, c, oversized) },
+			rawURL:   srv.URL + "/v1/jobs",
+			rawBody:  oversized,
+			wantCode: CodePayloadTooLarge,
+			wantHTTP: 413,
+		},
+		{
+			name: "queue full -> 429 with Retry-After",
+			arm: func() {
+				d.submitErr = &Error{Code: CodeQueueFull, Message: "job queue full", RetryAfterMS: 1500}
+			},
+			request:   func() error { _, err := c.Submit(ctx, JobSpec{Workload: "mis"}); return err },
+			rawURL:    srv.URL + "/v1/jobs",
+			rawBody:   `{"workload":"mis"}`,
+			wantCode:  CodeQueueFull,
+			wantHTTP:  429,
+			wantRetry: "2", // 1500ms rounds up to whole seconds
+		},
+		{
+			name:     "backend down -> 502",
+			arm:      func() { d.submitErr = Errorf(CodeBackendDown, "backend unreachable") },
+			request:  func() error { _, err := c.Submit(ctx, JobSpec{Workload: "mis"}); return err },
+			rawURL:   srv.URL + "/v1/jobs",
+			rawBody:  `{"workload":"mis"}`,
+			wantCode: CodeBackendDown,
+			wantHTTP: 502,
+		},
+		{
+			name:     "draining -> 503",
+			arm:      func() { d.submitErr = Errorf(CodeDraining, "draining, not accepting jobs") },
+			request:  func() error { _, err := c.Submit(ctx, JobSpec{Workload: "mis"}); return err },
+			rawURL:   srv.URL + "/v1/jobs",
+			rawBody:  `{"workload":"mis"}`,
+			wantCode: CodeDraining,
+			wantHTTP: 503,
+		},
+		{
+			// Submit's fallback for uncoded errors is invalid_request — most
+			// are spec validation; dispatchers must wrap genuinely internal
+			// failures (as Local does for ErrLogUnavailable) themselves.
+			name:     "uncoded submit failure -> 400 fallback",
+			arm:      func() { d.submitErr = fmt.Errorf("spec rejected by workload") },
+			request:  func() error { _, err := c.Submit(ctx, JobSpec{Workload: "mis"}); return err },
+			rawURL:   srv.URL + "/v1/jobs",
+			rawBody:  `{"workload":"mis"}`,
+			wantCode: CodeInvalidRequest,
+			wantHTTP: 400,
+		},
+		{
+			name:     "typed internal failure -> 500",
+			arm:      func() { d.submitErr = Errorf(CodeInternal, "recording acceptance: log unavailable") },
+			request:  func() error { _, err := c.Submit(ctx, JobSpec{Workload: "mis"}); return err },
+			rawURL:   srv.URL + "/v1/jobs",
+			rawBody:  `{"workload":"mis"}`,
+			wantCode: CodeInternal,
+			wantHTTP: 500,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.arm()
+
+			// Typed client: code survives, IsCode matches.
+			err := tc.request()
+			var e *Error
+			if !errors.As(err, &e) || e.Code != tc.wantCode {
+				t.Fatalf("client error = %v, want code %q", err, tc.wantCode)
+			}
+			if !IsCode(err, tc.wantCode) {
+				t.Fatalf("IsCode(%v, %q) = false", err, tc.wantCode)
+			}
+			if e.Message == "" {
+				t.Fatal("envelope lost its message")
+			}
+
+			// Raw wire: status, headers, and body shape.
+			var resp *http.Response
+			var raw []byte
+			if tc.rawBody != "" {
+				resp, raw = post(t, tc.rawURL, tc.rawBody)
+			} else {
+				resp, raw = get(t, tc.rawURL)
+			}
+			if resp.StatusCode != tc.wantHTTP {
+				t.Fatalf("status = %s, want %d (body %s)", resp.Status, tc.wantHTTP, raw)
+			}
+			if got := resp.Header.Get("Retry-After"); got != tc.wantRetry {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.wantRetry)
+			}
+			var body map[string]any
+			if err := json.Unmarshal(raw, &body); err != nil {
+				t.Fatalf("non-JSON error body %q: %v", raw, err)
+			}
+			if body["code"] != tc.wantCode {
+				t.Fatalf("wire code = %v, want %q (body %s)", body["code"], tc.wantCode, raw)
+			}
+			if _, hasMsg := body["message"].(string); !hasMsg {
+				t.Fatalf("wire envelope missing message: %s", raw)
+			}
+		})
+	}
+}
+
+// asClientError submits a raw oversized body through the typed client's
+// transport path and returns the decoded error (the client API has no way
+// to produce a >limit body through JobSpec itself).
+func asClientError(t *testing.T, c *Client, body string) error {
+	t.Helper()
+	resp, err := http.Post(c.BaseURL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Error
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+	return &e
+}
+
 // TestHandlerRequestValidation: malformed bodies, oversized payloads and
 // bad ids map to the documented envelope codes.
 func TestHandlerRequestValidation(t *testing.T) {

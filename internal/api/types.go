@@ -109,6 +109,10 @@ type JobStatus struct {
 	QueueNanos int64 `json:"queue_ns,omitempty"`
 	// SubmittedAt is the submission wall-clock time.
 	SubmittedAt time.Time `json:"submitted_at"`
+	// Recovered reports that this job was replayed from the write-ahead
+	// log after a restart rather than submitted to this process. A
+	// recovered job that finishes has no Result from before the crash.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // WorkloadInfo is one row of the workload-listing endpoint, taken straight
@@ -216,6 +220,31 @@ type ControllerStats struct {
 	LastAdjustment string `json:"last_adjustment,omitempty"`
 }
 
+// WALStats reports the write-ahead job log's counters when the node runs
+// with -wal-dir; nodes without a log omit the section. In a cluster
+// aggregate the counters are sums over the reporting backends and
+// TornTail is true if any backend recovered past a torn tail.
+type WALStats struct {
+	// Appends counts records written (accepted jobs plus terminal marks);
+	// Fsyncs counts file syncs issued — group commit keeps Fsyncs ≤
+	// Appends, and the gap is the batching win.
+	Appends int64 `json:"appends"`
+	Fsyncs  int64 `json:"fsyncs"`
+	// ReplayedJobs counts accepted-but-unfinished jobs re-enqueued from
+	// the log at the last boot.
+	ReplayedJobs int64 `json:"replayed_jobs"`
+	// Segments is the current number of live log segments; Compacted
+	// counts segments deleted since boot; Bytes counts bytes appended
+	// since boot.
+	Segments  int   `json:"segments"`
+	Compacted int64 `json:"compacted"`
+	Bytes     int64 `json:"bytes"`
+	// TornTail reports that the last boot's replay stopped at a torn
+	// record at the end of the log (expected after a crash mid-append;
+	// the torn record was never acknowledged).
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
 // Metrics is the GET /v1/metrics snapshot of one node. A gateway serves
 // the same shape as the cluster aggregate (see ClusterMetrics).
 type Metrics struct {
@@ -247,6 +276,9 @@ type Metrics struct {
 	// only under -jobsched auto (cluster: aggregated over the backends
 	// that run one).
 	Controller *ControllerStats `json:"controller,omitempty"`
+	// WAL is the write-ahead job log's state, present only with -wal-dir
+	// (cluster: aggregated over the backends that run one).
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // BackendMetrics is one backend's row in a gateway's cluster snapshot.

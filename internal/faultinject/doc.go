@@ -1,0 +1,33 @@
+// Package faultinject is the crash-injection harness behind `make
+// crash-smoke`: it proves relaxd's write-ahead log durability claims
+// against the real binary rather than in-process fakes.
+//
+// The harness builds cmd/relaxd, starts it with -wal-dir, drives a mixed
+// closed-loop workload through the HTTP API, and delivers SIGKILL at
+// seeded random points mid-flight. Between each kill and the next boot it
+// reads the log directory directly with wal.Inspect — ground truth for
+// what the log durably holds — and after each restart it checks the two
+// halves of the durability contract from the client's point of view:
+//
+//   - zero lost acceptances: every job whose 202 the client observed is
+//     either queryable on the restarted daemon (queued, running, or
+//     terminal — and eventually done) or was durably marked terminal
+//     before compaction erased its history;
+//   - zero duplicate executions: every job the client observed done
+//     before the kill comes back done, flagged recovered, with no
+//     freshly-computed result — it was never re-run.
+//
+// TestCrashReplaySmokeBinary runs with default-size segments, where
+// within-boot compaction is impossible at test volumes, so every check is
+// strict; it finishes by draining all survivors to done, exiting cleanly
+// via SIGTERM, and booting once more over a deliberately torn tail
+// (torn_tail=true in /v1/metrics, zero replays). TestCrashCompactionChurnBinary
+// repeats the kill loop with -wal-segment-bytes 4096 so kills land
+// mid-rotation and mid-compaction, keeping the no-re-execution checks and
+// asserting compaction actually ran.
+//
+// Everything is gated behind RELAXSCHED_SMOKE_CRASH=1 (the tests build
+// and exec a real binary); RELAXSCHED_CRASH_SEED pins the kill schedule
+// (default 1) and RELAXSCHED_CRASH_ROUNDS the number of kill rounds
+// (default 4).
+package faultinject

@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"relaxsched/internal/api"
+)
+
+var listenRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// buildRelaxd compiles cmd/relaxd once into the test's temp dir.
+func buildRelaxd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "relaxd")
+	build := exec.Command("go", "build", "-o", bin, "relaxsched/cmd/relaxd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building relaxd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running relaxd process under harness control.
+type daemon struct {
+	t       *testing.T
+	cmd     *exec.Cmd
+	BaseURL string
+	stderr  *bytes.Buffer
+
+	mu     sync.Mutex
+	stdout []string
+	waited bool
+}
+
+// startDaemon execs the binary and blocks until it announces its listen
+// address. The process keeps running until kill or term.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{t: t, cmd: exec.Command(bin, args...), stderr: &bytes.Buffer{}}
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = d.stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.kill() })
+
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for scanner.Scan() {
+			line := scanner.Text()
+			d.mu.Lock()
+			d.stdout = append(d.stdout, line)
+			d.mu.Unlock()
+			select {
+			case lines <- line:
+			default: // nobody waiting anymore; keep draining the pipe
+			}
+		}
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("relaxd exited before announcing its address; stderr: %s", d.stderr.String())
+			}
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				d.BaseURL = m[1]
+				return d
+			}
+		case <-deadline:
+			t.Fatalf("relaxd printed no listen line; stderr: %s", d.stderr.String())
+		}
+	}
+}
+
+// output returns everything the daemon has written to stdout so far.
+func (d *daemon) output() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var b bytes.Buffer
+	for _, line := range d.stdout {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// kill delivers SIGKILL — the crash under test: no drain, no flush, no
+// goodbye — and reaps the process. Idempotent.
+func (d *daemon) kill() {
+	d.mu.Lock()
+	waited := d.waited
+	d.waited = true
+	d.mu.Unlock()
+	if waited || d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Kill()
+	_, _ = d.cmd.Process.Wait()
+}
+
+// term delivers SIGTERM and waits for the graceful drain, failing the test
+// on a non-zero exit or a hang.
+func (d *daemon) term() {
+	d.t.Helper()
+	d.mu.Lock()
+	if d.waited {
+		d.mu.Unlock()
+		return
+	}
+	d.waited = true
+	d.mu.Unlock()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			d.t.Fatalf("relaxd exited non-zero after SIGTERM: %v\nstderr: %s", err, d.stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		d.t.Fatal("relaxd did not exit after SIGTERM")
+	}
+}
+
+// client returns a typed API client for the daemon.
+func (d *daemon) client() *api.Client {
+	return api.NewClient(d.BaseURL)
+}
+
+// status fetches one job's status, failing the test on transport errors
+// (an unknown_job envelope is returned to the caller, not fatal).
+func (d *daemon) status(id int64) (api.JobStatus, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return d.client().Status(ctx, id)
+}
+
+// metrics fetches the daemon's /v1/metrics snapshot.
+func (d *daemon) metrics() api.Metrics {
+	d.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	m, err := d.client().Metrics(ctx)
+	if err != nil {
+		d.t.Fatalf("fetching metrics: %v", err)
+	}
+	return m
+}
+
+// waitTerminal polls a job until it leaves queued/running.
+func (d *daemon) waitTerminal(id int64) api.JobStatus {
+	d.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := d.status(id)
+		if err != nil {
+			d.t.Fatalf("polling job %d: %v", id, err)
+		}
+		if st.State != api.StateQueued && st.State != api.StateRunning {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d.t.Fatalf("job %d did not reach a terminal state", id)
+	return api.JobStatus{}
+}
+
+// envInt reads an integer environment override.
+func envInt(name string, def int64) int64 {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}

@@ -354,6 +354,7 @@ func (g *Gateway) ClusterMetrics(ctx context.Context) api.ClusterMetrics {
 			mergeController(&cm.Controller, m.Controller)
 			controllers++
 		}
+		mergeWAL(&cm.WAL, m.WAL)
 	}
 	finishLatency(&cm.QueueLatency)
 	finishLatency(&cm.ExecLatency)
@@ -421,6 +422,28 @@ func finishController(c *api.ControllerStats, controllers int) {
 	}
 	c.K = (c.K + controllers/2) / controllers
 	c.Batch = (c.Batch + controllers/2) / controllers
+}
+
+// mergeWAL folds one backend's write-ahead-log section into the cluster
+// aggregate. Backends without a log report no section and are absent; a
+// fleet with no logs omits the section entirely. Counters and gauges sum
+// (Segments is a fleet-wide total, not a mean), and TornTail is true if
+// any backend recovered past a torn tail.
+func mergeWAL(dst **api.WALStats, src *api.WALStats) {
+	if src == nil {
+		return
+	}
+	if *dst == nil {
+		*dst = &api.WALStats{}
+	}
+	d := *dst
+	d.Appends += src.Appends
+	d.Fsyncs += src.Fsyncs
+	d.ReplayedJobs += src.ReplayedJobs
+	d.Segments += src.Segments
+	d.Compacted += src.Compacted
+	d.Bytes += src.Bytes
+	d.TornTail = d.TornTail || src.TornTail
 }
 
 // mergeLatency accumulates count-weighted sums into dst; finishLatency

@@ -373,3 +373,40 @@ func TestGatewayControllerAggregation(t *testing.T) {
 		t.Fatalf("static fleet grew a controller section: %+v", cm3.Controller)
 	}
 }
+
+// TestGatewayWALAggregation: the cluster WAL section sums every counter
+// over the backends that run a log, ORs the torn-tail flag, leaves
+// log-less backends out, and omits the section for a fleet with no logs.
+func TestGatewayWALAggregation(t *testing.T) {
+	durableA := api.Metrics{JobSched: service.JobSchedExact, WAL: &api.WALStats{
+		Appends: 100, Fsyncs: 40, ReplayedJobs: 3, Segments: 2, Compacted: 5, Bytes: 4096,
+	}}
+	durableB := api.Metrics{JobSched: service.JobSchedExact, WAL: &api.WALStats{
+		Appends: 50, Fsyncs: 9, ReplayedJobs: 0, Segments: 1, Compacted: 0, Bytes: 512, TornTail: true,
+	}}
+	ephemeral := api.Metrics{JobSched: service.JobSchedExact}
+
+	g := newTestGateway(t,
+		cannedMetricsBackend(t, durableA),
+		cannedMetricsBackend(t, durableB),
+		cannedMetricsBackend(t, ephemeral))
+	w := g.ClusterMetrics(context.Background()).WAL
+	if w == nil {
+		t.Fatal("cluster aggregate has no WAL section")
+	}
+	if w.Appends != 150 || w.Fsyncs != 49 || w.ReplayedJobs != 3 {
+		t.Fatalf("appends=%d fsyncs=%d replayed=%d, want sums 150/49/3", w.Appends, w.Fsyncs, w.ReplayedJobs)
+	}
+	if w.Segments != 3 || w.Compacted != 5 || w.Bytes != 4608 {
+		t.Fatalf("segments=%d compacted=%d bytes=%d, want sums 3/5/4608", w.Segments, w.Compacted, w.Bytes)
+	}
+	if !w.TornTail {
+		t.Fatal("torn-tail flag lost in aggregation")
+	}
+
+	// A fleet with no logs omits the section entirely.
+	g2 := newTestGateway(t, cannedMetricsBackend(t, ephemeral))
+	if cm := g2.ClusterMetrics(context.Background()); cm.WAL != nil {
+		t.Fatalf("log-less fleet grew a WAL section: %+v", cm.WAL)
+	}
+}

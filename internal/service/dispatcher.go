@@ -35,6 +35,8 @@ func (l Local) Submit(_ context.Context, spec api.JobSpec) (api.JobStatus, error
 		return api.JobStatus{}, &api.Error{Code: api.CodeQueueFull, Message: err.Error(), RetryAfterMS: submitRetryAfterMS}
 	case errors.Is(err, ErrDraining):
 		return api.JobStatus{}, &api.Error{Code: api.CodeDraining, Message: err.Error()}
+	case errors.Is(err, ErrLogUnavailable):
+		return api.JobStatus{}, api.WrapError(err, api.CodeInternal)
 	default:
 		return api.JobStatus{}, api.WrapError(err, api.CodeInvalidRequest)
 	}

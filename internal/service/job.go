@@ -85,6 +85,8 @@ type job struct {
 	queueRank int
 	queueTime time.Duration
 	submitted time.Time
+	// recovered marks a job replayed from the write-ahead log at boot.
+	recovered bool
 }
 
 func (j *job) status() JobStatus {
@@ -95,6 +97,7 @@ func (j *job) status() JobStatus {
 		QueueRank:   j.queueRank,
 		QueueNanos:  j.queueTime.Nanoseconds(),
 		SubmittedAt: j.submitted,
+		Recovered:   j.recovered,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -108,6 +108,17 @@ type LoadResult struct {
 	Jobs     int
 	Failed   int
 	Rejected int
+	// Unfinished counts jobs the service accepted (a 202 was observed)
+	// that this run never saw reach a terminal state — because the run
+	// errored out mid-poll or the server went away. Non-zero Unfinished
+	// means the summary's Jobs/Failed split does not account for every
+	// accepted job; crash harnesses reconcile these ids after a restart.
+	Unfinished int
+	// Accepted lists every job id the service acknowledged, in acceptance
+	// order per client; Terminal maps the subset this run observed
+	// reaching a terminal state to that state.
+	Accepted []int64
+	Terminal map[int64]JobState
 	// Elapsed is the wall-clock span of the whole run.
 	Elapsed time.Duration
 	// Throughput is Jobs / Elapsed, in jobs per second.
@@ -127,6 +138,10 @@ func (r LoadResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "jobs: %d done, %d failed, %d rejected in %v (%.1f jobs/s)\n",
 		r.Jobs, r.Failed, r.Rejected, r.Elapsed.Round(time.Millisecond), r.Throughput)
+	if r.Unfinished > 0 {
+		fmt.Fprintf(&b, "WARNING: %d accepted jobs never reached a terminal state during this run\n",
+			r.Unfinished)
+	}
 	fmt.Fprintf(&b, "client latency (ms): mean=%.2f p50=%.2f p95=%.2f max=%.2f\n",
 		r.Latency.Mean*1e3, r.Latency.P50*1e3, r.Latency.P95*1e3, r.Latency.Max*1e3)
 	m := r.Metrics
@@ -169,6 +184,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	}
 	close(next)
 
+	res.Terminal = make(map[int64]JobState)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
@@ -176,9 +192,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				lat, state, rejected, err := runOneJob(ctx, cli, cfg, i)
+				id, lat, state, rejected, err := runOneJob(ctx, cli, cfg, i)
 				mu.Lock()
 				res.Rejected += rejected
+				if id != 0 {
+					// Accepted is recorded before the error check: a job
+					// whose acceptance was observed but whose poll then
+					// failed is exactly what Unfinished must count.
+					res.Accepted = append(res.Accepted, id)
+				}
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
@@ -190,6 +212,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 				if state != StateDone {
 					res.Failed++
 				}
+				res.Terminal[id] = state
 				latencies = append(latencies, lat.Seconds())
 				mu.Unlock()
 			}
@@ -197,6 +220,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	res.Unfinished = len(res.Accepted) - len(res.Terminal)
 	if firstErr != nil {
 		return res, firstErr
 	}
@@ -217,8 +241,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 
 // runOneJob submits job i (retrying admission rejections with the
 // server-suggested backoff) and polls it to completion, returning the
-// client-observed latency and final state.
-func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (time.Duration, JobState, int, error) {
+// accepted job id (0 if acceptance was never observed), the
+// client-observed latency and the final state. The id is returned even
+// when the poll errors out, so the caller can account for accepted jobs
+// whose fate this run never saw.
+func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (int64, time.Duration, JobState, int, error) {
 	spec := defaultJobSpec()
 	spec.Workload = cfg.Workloads[i%len(cfg.Workloads)]
 	spec.Mode = cfg.Mode
@@ -234,7 +261,7 @@ func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (tim
 	var id int64
 	for {
 		if err := ctx.Err(); err != nil {
-			return 0, "", rejected, err
+			return 0, 0, "", rejected, err
 		}
 		st, err := cli.Submit(ctx, spec)
 		if err != nil {
@@ -247,12 +274,12 @@ func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (tim
 				}
 				select {
 				case <-ctx.Done():
-					return 0, "", rejected, ctx.Err()
+					return 0, 0, "", rejected, ctx.Err()
 				case <-time.After(wait):
 				}
 				continue
 			}
-			return 0, "", rejected, fmt.Errorf("loadgen: submit: %w", err)
+			return 0, 0, "", rejected, fmt.Errorf("loadgen: submit: %w", err)
 		}
 		id = st.ID
 		break
@@ -261,16 +288,16 @@ func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (tim
 	for {
 		select {
 		case <-ctx.Done():
-			return 0, "", rejected, ctx.Err()
+			return id, 0, "", rejected, ctx.Err()
 		case <-time.After(cfg.PollInterval):
 		}
 		st, err := cli.Status(ctx, id)
 		if err != nil {
-			return 0, "", rejected, fmt.Errorf("loadgen: status: %w", err)
+			return id, 0, "", rejected, fmt.Errorf("loadgen: status: %w", err)
 		}
 		switch st.State {
 		case StateDone, StateFailed, StateCanceled:
-			return time.Since(start), st.State, rejected, nil
+			return id, time.Since(start), st.State, rejected, nil
 		}
 	}
 }

@@ -43,11 +43,42 @@ func TestRunLoadClosedLoop(t *testing.T) {
 		t.Fatalf("rank error count: %+v", res.Metrics.RankError)
 	}
 
+	// Every accepted job was observed terminal: the unfinished ledger must
+	// balance exactly.
+	if len(res.Accepted) != 12 || len(res.Terminal) != 12 || res.Unfinished != 0 {
+		t.Fatalf("accepted=%d terminal=%d unfinished=%d, want 12/12/0",
+			len(res.Accepted), len(res.Terminal), res.Unfinished)
+	}
+	for _, id := range res.Accepted {
+		if st, ok := res.Terminal[id]; !ok || st != StateDone {
+			t.Fatalf("accepted job %d terminal state = %v (tracked %v)", id, st, ok)
+		}
+	}
+
 	report := res.Format()
 	for _, want := range []string{"12 done", "rank error", "graph cache", "multiqueue"} {
 		if !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)
 		}
+	}
+	if strings.Contains(report, "WARNING") {
+		t.Fatalf("clean run reported unfinished jobs:\n%s", report)
+	}
+}
+
+// TestLoadResultReportsUnfinished: a run that loses track of accepted jobs
+// (crashed server, interrupted poll) must say so in the report instead of
+// silently dropping them from the summary.
+func TestLoadResultReportsUnfinished(t *testing.T) {
+	r := LoadResult{
+		Jobs:       3,
+		Unfinished: 2,
+		Accepted:   []int64{1, 2, 3, 4, 5},
+		Terminal:   map[int64]JobState{1: StateDone, 2: StateDone, 3: StateFailed},
+	}
+	report := r.Format()
+	if !strings.Contains(report, "WARNING: 2 accepted jobs never reached a terminal state") {
+		t.Fatalf("report missing unfinished warning:\n%s", report)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"relaxsched/internal/ranktrack"
 	"relaxsched/internal/sched"
 	"relaxsched/internal/sched/kbounded"
+	"relaxsched/internal/wal"
 	"relaxsched/internal/workload"
 )
 
@@ -47,6 +48,11 @@ var (
 	// record of (never assigned, or evicted by the finished-job retention
 	// bound).
 	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrLogUnavailable rejects a submission because the write-ahead log
+	// can no longer promise durability (a sync failed earlier): the node
+	// refuses admission rather than hand out acknowledgments it cannot
+	// honor across a crash.
+	ErrLogUnavailable = errors.New("service: job log unavailable")
 )
 
 // Options configures a Manager. Zero values select the documented defaults.
@@ -70,6 +76,16 @@ type Options struct {
 	// RetainJobs bounds how many finished jobs keep their status queryable;
 	// the oldest finished jobs are forgotten first (default 65536).
 	RetainJobs int
+
+	// WALDir, when set, enables the write-ahead job log (internal/wal) in
+	// that directory: accepted jobs are fsynced before the acknowledgment,
+	// terminal marks before the terminal state is visible, and boot
+	// replays accepted-but-unfinished jobs back into the queue at their
+	// original priority. Empty disables durability (the pre-WAL behavior).
+	WALDir string
+	// WALSegmentBytes overrides the log's segment-rotation threshold
+	// (default 4 MiB); tests use small values to exercise rotation.
+	WALSegmentBytes int64
 
 	// RankSLO is the adaptive controller's bound on the windowed mean job
 	// rank error (default 2); P99SLO is its p99 queue-latency target
@@ -139,6 +155,12 @@ type Manager struct {
 	ctrlOnce  sync.Once
 	ctrlWG    sync.WaitGroup
 
+	// wlog is the write-ahead job log, nil without Options.WALDir. Its
+	// appends fsync and therefore never run under mu; Submit holds a
+	// reservation (reserved) for the admission slot while the accept
+	// record syncs outside the lock.
+	wlog *wal.WAL
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   sched.Scheduler
@@ -148,6 +170,7 @@ type Manager struct {
 	finished []int64
 	nextID   int64
 	pending  int
+	reserved int
 	running  int
 	counts   JobCounts
 	cost     CostTotals
@@ -227,6 +250,12 @@ func NewManager(opts Options) (*Manager, error) {
 		m.ctrlStop = make(chan struct{})
 		m.ctrlStatus = m.ctrl.Status()
 	}
+	if opts.WALDir != "" {
+		if err := m.openLog(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	if opts.startPaused {
 		return m, nil
 	}
@@ -245,6 +274,61 @@ func NewManager(opts Options) (*Manager, error) {
 		}()
 	}
 	return m, nil
+}
+
+// Placeholder errors for terminal jobs recovered from the log: the marks
+// record the outcome kind, not the original message.
+var (
+	errRecoveredFailed   = errors.New("failed before restart (recovered from job log; original error not retained)")
+	errRecoveredCanceled = errors.New("canceled before restart (recovered from job log)")
+)
+
+// openLog opens the write-ahead log and replays its contents into the
+// manager: jobs with a durable terminal mark become queryable finished
+// records again (result-less, flagged recovered), and accepted jobs with
+// no mark re-enter the queue at their original priority — so the relaxed
+// queue's rank accounting picks up exactly the pending set the crashed
+// process had admitted. Runs before the worker pool starts, so no lock is
+// held.
+func (m *Manager) openLog() error {
+	w, replay, err := wal.Open(wal.Options{Dir: m.opts.WALDir, SegmentBytes: m.opts.WALSegmentBytes})
+	if err != nil {
+		return fmt.Errorf("service: opening job log: %w", err)
+	}
+	m.wlog = w
+	now := time.Now()
+	for _, tj := range replay.Terminal {
+		j := &job{id: tj.ID, spec: tj.Spec, submitted: now, recovered: true}
+		switch {
+		case tj.Kind == wal.KindCanceled:
+			j.state = StateCanceled
+			j.err = errRecoveredCanceled
+			m.counts.Canceled++
+		case tj.Outcome == wal.OutcomeFailed:
+			j.state = StateFailed
+			j.err = errRecoveredFailed
+			m.counts.Failed++
+		default:
+			j.state = StateDone
+			m.counts.Done++
+		}
+		m.counts.Submitted++
+		m.jobs[j.id] = j
+		m.retainLocked(j.id)
+	}
+	for _, rj := range replay.Unfinished {
+		j := &job{id: rj.ID, spec: rj.Spec, state: StateQueued, submitted: now, recovered: true}
+		m.jobs[j.id] = j
+		it := sched.Item{Task: int32(j.id), Priority: rj.Spec.Priority}
+		m.queue.Insert(it)
+		m.tracker.Insert(it)
+		m.pending++
+		m.counts.Submitted++
+	}
+	if replay.MaxID >= m.nextID {
+		m.nextID = replay.MaxID + 1
+	}
+	return nil
 }
 
 // controlLoop drives the adaptive controller: every ControlInterval it takes
@@ -308,34 +392,67 @@ func (m *Manager) stopControl() {
 // Submit validates a job spec and enqueues it, returning the queued job's
 // status (including its assigned id). Admission control rejects with
 // ErrQueueFull when the pending queue is at its bound and ErrDraining after
-// Close has begun; both leave no trace beyond the rejection counter.
+// Close has begun; both leave no trace beyond the rejection counter. With a
+// write-ahead log, the accept record is fsynced before Submit returns —
+// the acknowledgment the caller hands out is the durability guarantee.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	if err := validateSpec(spec); err != nil {
 		return JobStatus{}, err
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
 		m.counts.Rejected++
+		m.mu.Unlock()
 		return JobStatus{}, ErrDraining
 	}
-	if m.pending >= m.opts.QueueDepth {
+	// reserved counts submissions whose accept record is still syncing:
+	// they hold their admission slot so a burst of in-flight fsyncs cannot
+	// overshoot the queue bound.
+	if m.pending+m.reserved >= m.opts.QueueDepth {
 		m.counts.Rejected++
+		m.mu.Unlock()
 		return JobStatus{}, ErrQueueFull
 	}
 	if m.nextID > math.MaxInt32 {
 		// Job ids ride in sched.Item.Task (int32). Two billion jobs into a
 		// process's life, refusing is safer than wrapping.
 		m.counts.Rejected++
+		m.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("service: job id space exhausted")
 	}
+	id := m.nextID
+	m.nextID++
+
+	if m.wlog != nil {
+		m.reserved++
+		m.mu.Unlock()
+		// The fsync (group-committed with concurrent submissions) runs
+		// outside the manager lock; dispatch proceeds concurrently.
+		err := m.wlog.AppendAccepted(id, spec)
+		m.mu.Lock()
+		m.reserved--
+		if err != nil {
+			m.counts.Rejected++
+			m.mu.Unlock()
+			return JobStatus{}, fmt.Errorf("%w: %v", ErrLogUnavailable, err)
+		}
+		if m.closed {
+			// Drain began while the accept record synced. The record is
+			// durable, so cancel it durably too — otherwise a later boot
+			// would resurrect a job whose submitter was told "draining".
+			m.counts.Rejected++
+			m.mu.Unlock()
+			_ = m.wlog.AppendCanceled(id)
+			return JobStatus{}, ErrDraining
+		}
+	}
+
 	j := &job{
-		id:        m.nextID,
+		id:        id,
 		spec:      spec,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
-	m.nextID++
 	m.jobs[j.id] = j
 	it := sched.Item{Task: int32(j.id), Priority: spec.Priority}
 	m.queue.Insert(it)
@@ -343,7 +460,9 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.pending++
 	m.counts.Submitted++
 	m.cond.Signal()
-	return j.status(), nil
+	st := j.status()
+	m.mu.Unlock()
+	return st, nil
 }
 
 // Status returns a job's current status by id.
@@ -360,6 +479,19 @@ func (m *Manager) Status(id int64) (JobStatus, error) {
 // Metrics returns a consistent snapshot of the service counters.
 func (m *Manager) Metrics() Metrics {
 	cache := m.cache.Stats()
+	var walStats *WALStats
+	if m.wlog != nil {
+		s := m.wlog.Stats()
+		walStats = &WALStats{
+			Appends:      s.Appends,
+			Fsyncs:       s.Fsyncs,
+			ReplayedJobs: s.ReplayedJobs,
+			Segments:     s.Segments,
+			Compacted:    s.Compacted,
+			Bytes:        s.Bytes,
+			TornTail:     s.TornTail,
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	counts := m.counts
@@ -404,6 +536,7 @@ func (m *Manager) Metrics() Metrics {
 		QueueLatency:  m.queueLat.summary(),
 		ExecLatency:   m.execLat.summary(),
 		Controller:    ctrlStats,
+		WAL:           walStats,
 	}
 }
 
@@ -450,6 +583,7 @@ func (m *Manager) Close(ctx context.Context) error {
 	m.runCancel()
 
 	// Whatever is still queued (forced drain only) will never run.
+	var canceled []int64
 	m.mu.Lock()
 	for m.pending > 0 {
 		it, ok := m.queue.ApproxGetMin()
@@ -463,9 +597,23 @@ func (m *Manager) Close(ctx context.Context) error {
 			j.err = context.Canceled
 			m.counts.Canceled++
 			m.retainLocked(j.id)
+			canceled = append(canceled, j.id)
 		}
 	}
 	m.mu.Unlock()
+
+	if m.wlog != nil {
+		// A forced drain is a deliberate discard: mark the abandoned jobs
+		// canceled durably so a later boot does not resurrect them, then
+		// seal the log. (After SIGKILL there are no marks — that is the
+		// point: unfinished jobs replay.)
+		for _, id := range canceled {
+			_ = m.wlog.AppendCanceled(id)
+		}
+		if cerr := m.wlog.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -554,8 +702,31 @@ func (m *Manager) execute(j *job) {
 }
 
 // finish records a job's outcome and applies the finished-job retention
-// bound.
+// bound. With a write-ahead log the terminal mark is fsynced before the
+// state change becomes visible: once a client observes done, the job can
+// never re-run after a crash — the no-duplicate-execution half of the
+// durability contract.
 func (m *Manager) finish(j *job, result *JobResult, err error, elapsed time.Duration) {
+	if m.wlog != nil {
+		var werr error
+		switch {
+		case err == nil:
+			werr = m.wlog.AppendCompleted(j.id, wal.OutcomeDone)
+		case errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled):
+			werr = m.wlog.AppendCanceled(j.id)
+		default:
+			werr = m.wlog.AppendCompleted(j.id, wal.OutcomeFailed)
+		}
+		if werr != nil && err == nil {
+			// The work ran but its completion cannot be made durable, so
+			// "done" cannot be promised: report the job failed (with the
+			// log error) rather than hand out a done the next boot would
+			// contradict by re-running the job. The poisoned log is already
+			// rejecting new admissions at this point.
+			result = nil
+			err = fmt.Errorf("%w: recording completion: %v", ErrLogUnavailable, werr)
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--

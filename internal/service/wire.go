@@ -33,6 +33,8 @@ type (
 	LatencySummary = api.LatencySummary
 	// ControllerStats is the adaptive-controller section of Metrics.
 	ControllerStats = api.ControllerStats
+	// WALStats is the write-ahead-log section of Metrics.
+	WALStats = api.WALStats
 )
 
 // Job lifecycle states; see the api.State* constants.

@@ -1,0 +1,361 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"relaxsched/internal/api"
+)
+
+// Record kinds. The numeric values are on disk forever; append only.
+const (
+	// KindAccepted records a job admitted by the service: its id and the
+	// full JobSpec (priority included), written durably before the client's
+	// 202 response.
+	KindAccepted byte = 1
+	// KindCompleted records a job reaching a terminal executed state (done
+	// or failed), written durably before the status endpoint reports it.
+	KindCompleted byte = 2
+	// KindCanceled records a job canceled before execution (forced drain,
+	// or admission racing a drain).
+	KindCanceled byte = 3
+)
+
+// Terminal outcomes carried by KindCompleted records.
+const (
+	// OutcomeDone means the job executed (and, if asked, verified) cleanly.
+	OutcomeDone byte = 0
+	// OutcomeFailed means execution or verification returned an error. The
+	// job is terminal either way — a failed job must not re-run on replay.
+	OutcomeFailed byte = 1
+)
+
+// Record is one decoded WAL entry.
+type Record struct {
+	Kind byte
+	ID   int64
+	// Outcome is meaningful only for KindCompleted (OutcomeDone or
+	// OutcomeFailed).
+	Outcome byte
+	// Spec is set only for KindAccepted.
+	Spec api.JobSpec
+}
+
+// Wire layout. Every segment file starts with an 8-byte magic; each record
+// is:
+//
+//	crc32c  uint32 LE   over the length, kind and payload bytes
+//	length  uint32 LE   payload length in bytes (kind byte excluded)
+//	kind    byte
+//	payload length bytes
+//
+// The CRC covers the length field too, so a torn or bit-flipped length is
+// detected rather than trusted (a trusted garbage length could otherwise
+// direct the reader gigabytes past the real tail).
+const (
+	segmentMagic  = "RLXWAL01"
+	recHeaderSize = 9
+	// maxRecordBytes bounds a decoded payload. The largest legitimate
+	// record is an accepted entry around a JobSpec — a few hundred bytes —
+	// so anything near the bound is corruption, and the bound keeps a
+	// corrupt length from asking the reader for a huge allocation.
+	maxRecordBytes = 1 << 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorruptRecord reports a record that failed validation (bad CRC,
+// over-bound length, unknown kind, malformed payload). In the final segment
+// it marks the torn tail; in an earlier segment it is real corruption.
+var errCorruptRecord = errors.New("wal: corrupt record")
+
+// appendUint32/appendUint64 are fixed-width little-endian appends; varints
+// are deliberately avoided for numeric spec fields that are commonly zero
+// anyway only where sign matters (Source can be -1).
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendRecord encodes rec (header and payload) onto b and returns the
+// extended slice. It allocates only when b lacks capacity, so a caller
+// reusing its buffer appends with zero steady-state allocations.
+func AppendRecord(b []byte, rec Record) []byte {
+	base := len(b)
+	// Reserve the header; the CRC and length are patched once the payload
+	// size is known.
+	b = append(b, make([]byte, recHeaderSize)...)
+	b[base+8] = rec.Kind
+	b = appendUint64(b, uint64(rec.ID))
+	switch rec.Kind {
+	case KindAccepted:
+		s := &rec.Spec
+		b = appendString(b, s.Workload)
+		b = appendString(b, s.Mode)
+		b = appendString(b, s.Graph.Model)
+		b = appendUint64(b, uint64(s.Graph.N))
+		b = appendUint64(b, uint64(s.Graph.Edges))
+		b = appendUint64(b, math.Float64bits(s.Graph.Exponent))
+		b = appendUint64(b, s.Graph.Seed)
+		b = appendUint32(b, s.Priority)
+		b = binary.AppendVarint(b, int64(s.K))
+		b = binary.AppendVarint(b, int64(s.Threads))
+		b = binary.AppendVarint(b, int64(s.Batch))
+		b = appendUint64(b, s.Seed)
+		b = appendUint32(b, s.Delta)
+		b = appendUint64(b, math.Float64bits(s.Damping))
+		b = appendUint64(b, math.Float64bits(s.Tolerance))
+		b = binary.AppendVarint(b, int64(s.Source))
+		b = appendBool(b, s.Verify)
+	case KindCompleted:
+		b = append(b, rec.Outcome)
+	case KindCanceled:
+	}
+	payloadLen := len(b) - base - recHeaderSize
+	binary.LittleEndian.PutUint32(b[base+4:], uint32(payloadLen))
+	crc := crc32.Checksum(b[base+4:], crcTable)
+	binary.LittleEndian.PutUint32(b[base:], crc)
+	return b
+}
+
+// recordDecoder walks a payload; every read is bounds-checked so arbitrary
+// bytes decode to an error, never a panic.
+type recordDecoder struct {
+	b []byte
+	i int
+}
+
+func (d *recordDecoder) uint32() (uint32, error) {
+	if d.i+4 > len(d.b) {
+		return 0, errCorruptRecord
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.i:])
+	d.i += 4
+	return v, nil
+}
+
+func (d *recordDecoder) uint64() (uint64, error) {
+	if d.i+8 > len(d.b) {
+		return 0, errCorruptRecord
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.i:])
+	d.i += 8
+	return v, nil
+}
+
+func (d *recordDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.i:])
+	if n <= 0 {
+		return 0, errCorruptRecord
+	}
+	d.i += n
+	return v, nil
+}
+
+func (d *recordDecoder) str() (string, error) {
+	n, w := binary.Uvarint(d.b[d.i:])
+	if w <= 0 || n > uint64(len(d.b)-d.i-w) {
+		return "", errCorruptRecord
+	}
+	s := string(d.b[d.i+w : d.i+w+int(n)])
+	d.i += w + int(n)
+	return s, nil
+}
+
+func (d *recordDecoder) byte() (byte, error) {
+	if d.i >= len(d.b) {
+		return 0, errCorruptRecord
+	}
+	v := d.b[d.i]
+	d.i++
+	return v, nil
+}
+
+func (d *recordDecoder) bool() (bool, error) {
+	v, err := d.byte()
+	if err != nil || v > 1 {
+		return false, errCorruptRecord
+	}
+	return v == 1, nil
+}
+
+// DecodeRecord decodes one record from the front of b, returning the record
+// and the number of bytes consumed. Arbitrary input yields an error (short
+// input, bad CRC, malformed payload), never a panic.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recHeaderSize {
+		return Record{}, 0, fmt.Errorf("%w: short header (%d bytes)", errCorruptRecord, len(b))
+	}
+	payloadLen := binary.LittleEndian.Uint32(b[4:])
+	if payloadLen > maxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d exceeds bound %d", errCorruptRecord, payloadLen, maxRecordBytes)
+	}
+	total := recHeaderSize + int(payloadLen)
+	if len(b) < total {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", errCorruptRecord, len(b), total)
+	}
+	if crc := crc32.Checksum(b[4:total], crcTable); crc != binary.LittleEndian.Uint32(b) {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", errCorruptRecord)
+	}
+	rec, err := decodePayload(b[8], b[recHeaderSize:total])
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, total, nil
+}
+
+func decodePayload(kind byte, payload []byte) (Record, error) {
+	d := &recordDecoder{b: payload}
+	rec := Record{Kind: kind}
+	id, err := d.uint64()
+	if err != nil {
+		return Record{}, err
+	}
+	rec.ID = int64(id)
+	switch kind {
+	case KindAccepted:
+		s := &rec.Spec
+		read := func() {
+			var n, e, ex, gs, js, dmp, tol uint64
+			var k, th, ba, src int64
+			s.Workload, err = d.str()
+			if err == nil {
+				s.Mode, err = d.str()
+			}
+			if err == nil {
+				s.Graph.Model, err = d.str()
+			}
+			if err == nil {
+				n, err = d.uint64()
+				s.Graph.N = int(n)
+			}
+			if err == nil {
+				e, err = d.uint64()
+				s.Graph.Edges = int64(e)
+			}
+			if err == nil {
+				ex, err = d.uint64()
+				s.Graph.Exponent = math.Float64frombits(ex)
+			}
+			if err == nil {
+				gs, err = d.uint64()
+				s.Graph.Seed = gs
+			}
+			if err == nil {
+				s.Priority, err = d.uint32()
+			}
+			if err == nil {
+				k, err = d.varint()
+				s.K = int(k)
+			}
+			if err == nil {
+				th, err = d.varint()
+				s.Threads = int(th)
+			}
+			if err == nil {
+				ba, err = d.varint()
+				s.Batch = int(ba)
+			}
+			if err == nil {
+				js, err = d.uint64()
+				s.Seed = js
+			}
+			if err == nil {
+				s.Delta, err = d.uint32()
+			}
+			if err == nil {
+				dmp, err = d.uint64()
+				s.Damping = math.Float64frombits(dmp)
+			}
+			if err == nil {
+				tol, err = d.uint64()
+				s.Tolerance = math.Float64frombits(tol)
+			}
+			if err == nil {
+				src, err = d.varint()
+				s.Source = int(src)
+			}
+			if err == nil {
+				s.Verify, err = d.bool()
+			}
+		}
+		read()
+		if err != nil {
+			return Record{}, err
+		}
+	case KindCompleted:
+		rec.Outcome, err = d.byte()
+		if err != nil || rec.Outcome > OutcomeFailed {
+			return Record{}, errCorruptRecord
+		}
+	case KindCanceled:
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record kind %d", errCorruptRecord, kind)
+	}
+	if d.i != len(payload) {
+		return Record{}, fmt.Errorf("%w: %d trailing payload bytes", errCorruptRecord, len(payload)-d.i)
+	}
+	return rec, nil
+}
+
+// readRecord reads the next record from r. io.EOF means a clean end of the
+// segment; errCorruptRecord-wrapped errors (including unexpected EOF inside
+// a record) mean the remainder of the segment is unreadable.
+func readRecord(r *bufio.Reader, scratch []byte) (Record, int, []byte, error) {
+	scratch = scratch[:0]
+	header, err := readFull(r, scratch, recHeaderSize)
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(header) == 0 {
+			return Record{}, 0, scratch, io.EOF
+		}
+		return Record{}, 0, scratch, fmt.Errorf("%w: torn header", errCorruptRecord)
+	}
+	payloadLen := binary.LittleEndian.Uint32(header[4:])
+	if payloadLen > maxRecordBytes {
+		return Record{}, 0, scratch, fmt.Errorf("%w: payload length %d exceeds bound %d", errCorruptRecord, payloadLen, maxRecordBytes)
+	}
+	full, err := readFull(r, header, recHeaderSize+int(payloadLen))
+	if err != nil {
+		return Record{}, 0, full, fmt.Errorf("%w: torn payload", errCorruptRecord)
+	}
+	rec, n, err := DecodeRecord(full)
+	return rec, n, full, err
+}
+
+// readFull extends buf (already holding len(buf) bytes) to total bytes from
+// r, returning the possibly shorter buffer and an error when r ends first.
+func readFull(r *bufio.Reader, buf []byte, total int) ([]byte, error) {
+	for len(buf) < total {
+		if cap(buf) < total {
+			grown := make([]byte, len(buf), total)
+			copy(grown, buf)
+			buf = grown
+		}
+		n, err := r.Read(buf[len(buf):total])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}

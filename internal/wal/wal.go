@@ -1,0 +1,611 @@
+// Package wal is the durable job log behind relaxd's -wal-dir: an
+// append-only, checksummed, segment-rotating write-ahead log of accepted
+// jobs, with fsync group commit on the accept path and compaction that
+// drops fully-completed segments.
+//
+// The contract the service layer builds on:
+//
+//   - AppendAccepted returns only after the record is fsynced, so a job
+//     that received its 202 survives SIGKILL. Concurrent appenders share
+//     one fsync (group commit): a waiter joins the in-flight sync cohort
+//     instead of issuing its own, which keeps admission latency bounded
+//     under load instead of paying one disk flush per job.
+//   - AppendCompleted/AppendCanceled mark a job terminal, also durably
+//     before the caller exposes the terminal state — so a job a client
+//     observed done is never re-executed after a crash.
+//   - Open replays the log: jobs with an accepted record but no terminal
+//     mark are returned for re-enqueue (original spec and priority); jobs
+//     with marks are returned as terminal history. A torn tail in the
+//     final segment — the only place a crash can tear a write — ends the
+//     replay cleanly at the last valid record; corruption in any earlier
+//     segment is a hard error, because those segments were fully synced
+//     before rotation.
+//   - Segments rotate at SegmentBytes. A prefix of sealed segments whose
+//     accepted jobs are all durably marked terminal is deleted (the marks
+//     themselves may live in later segments; replay ignores marks for
+//     unknown ids, which is exactly what a mark whose accept was compacted
+//     away looks like).
+//
+// A failed fsync poisons the log: once durability cannot be promised,
+// every subsequent append fails, and the service layer refuses admission
+// rather than handing out 202s it cannot honor.
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"relaxsched/internal/api"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory; it is created if absent. Segment files are
+	// named wal-<16-hex-digit index>.log.
+	Dir string
+	// SegmentBytes is the rotation threshold (default 4 MiB). Records never
+	// split across segments: the active segment rotates once its size
+	// reaches the threshold, so segments exceed it by at most one record.
+	SegmentBytes int64
+}
+
+const defaultSegmentBytes = 4 << 20
+
+// Stats is a snapshot of the log's counters, all since this Open (the
+// on-disk state persists; the counters do not).
+type Stats struct {
+	// Appends counts records appended (accepted + terminal marks); Fsyncs
+	// counts file syncs issued — with group commit Fsyncs ≤ Appends, and
+	// the gap is the batching win.
+	Appends int64
+	Fsyncs  int64
+	// ReplayedJobs counts accepted-but-unfinished jobs Open handed back
+	// for re-enqueue.
+	ReplayedJobs int64
+	// Segments is the current number of live segment files; Compacted
+	// counts segments deleted by compaction since Open.
+	Segments  int
+	Compacted int64
+	// Bytes counts bytes appended since Open (headers included).
+	Bytes int64
+	// TornTail reports that Open found (and stopped cleanly at) a torn
+	// record at the end of the final segment.
+	TornTail bool
+}
+
+// ReplayedJob is one accepted-but-unfinished job recovered by Open, in
+// original acceptance order.
+type ReplayedJob struct {
+	ID   int64
+	Spec api.JobSpec
+}
+
+// TerminalJob is one job whose terminal mark survived in the log: done,
+// failed or canceled before the crash. Jobs whose accept record was
+// compacted away do not appear (their marks are ignored as unknown).
+type TerminalJob struct {
+	ID      int64
+	Kind    byte // KindCompleted or KindCanceled
+	Outcome byte // for KindCompleted: OutcomeDone or OutcomeFailed
+	Spec    api.JobSpec
+}
+
+// Replay is what Open recovered from an existing log.
+type Replay struct {
+	// Unfinished lists accepted jobs with no terminal mark, in acceptance
+	// order; the service re-enqueues them.
+	Unfinished []ReplayedJob
+	// Terminal lists jobs whose terminal mark survived, in acceptance
+	// order.
+	Terminal []TerminalJob
+	// MaxID is the largest job id seen anywhere in the log (0 when empty);
+	// the service resumes id assignment above it.
+	MaxID int64
+	// Orphans lists ids (ascending) whose terminal mark survives but whose
+	// accept record was compacted away. Their history is gone — the service
+	// reports them unknown — yet the log still proves they finished, which
+	// is what crash harnesses need to tell "compacted" from "lost".
+	Orphans []int64
+	// TornTail reports that replay stopped at a torn or corrupt record in
+	// the final segment (the signature of a crash mid-append).
+	TornTail bool
+}
+
+type segment struct {
+	index uint64
+	path  string
+	// outstanding counts accepted records in this segment with no terminal
+	// mark yet; lastMark is the append sequence of the newest mark that
+	// decremented it (compaction must not act on marks that are not yet
+	// durable).
+	outstanding int
+	lastMark    uint64
+	bytes       int64
+}
+
+// WAL is the append side of the log. All methods are safe for concurrent
+// use.
+type WAL struct {
+	dir      string
+	segBytes int64
+
+	// mu guards the encoder buffer, the active file and writer, the
+	// segment list and the job→segment index. Appends hold it only for the
+	// in-memory encode+buffered-write; fsyncs happen outside it.
+	mu       sync.Mutex
+	buf      []byte
+	f        *os.File
+	bw       *bufio.Writer
+	segments []*segment // oldest first; last is the active segment
+	jobSeg   map[int64]*segment
+	written  uint64 // records appended (monotone append sequence)
+	appends  int64
+	bytes    int64
+	closed   bool
+
+	// syncMu guards the group-commit state: which append sequence is
+	// durable, whether a sync leader is in flight, and the sticky sync
+	// error that poisons the log.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncing   bool
+	synced    uint64
+	syncErr   error
+	fsyncs    int64
+	compacted int64
+
+	replayed int64
+	tornTail bool
+
+	// testSyncDelay, when set by tests, runs in the sync leader just
+	// before the fsync — slowing syncs down so group-commit batching is
+	// observable deterministically.
+	testSyncDelay func()
+}
+
+// ErrClosed reports an append against a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+func segmentPath(dir string, index uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", index))
+}
+
+// Open opens (or creates) the log in opts.Dir, replays every existing
+// segment, and starts a fresh active segment — sealed segments are never
+// appended to again, which is what makes a torn tail strictly a
+// final-segment phenomenon. The returned Replay hands the recovered state
+// to the caller exactly once.
+func Open(opts Options) (*WAL, *Replay, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: directory is required")
+	}
+	segBytes := opts.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating directory: %w", err)
+	}
+	w := &WAL{
+		dir:      opts.Dir,
+		segBytes: segBytes,
+		jobSeg:   make(map[int64]*segment),
+	}
+	w.syncCond = sync.NewCond(&w.syncMu)
+
+	replay, err := w.replayDir()
+	if err != nil {
+		return nil, nil, err
+	}
+	w.replayed = int64(len(replay.Unfinished))
+	replay.TornTail = w.tornTail
+
+	// Start the new active segment above every existing index.
+	var next uint64 = 1
+	if n := len(w.segments); n > 0 {
+		next = w.segments[n-1].index + 1
+	}
+	if err := w.openSegment(next); err != nil {
+		return nil, nil, err
+	}
+	// Sealed segments that are already fully terminal can go now.
+	w.compact()
+	return w, replay, nil
+}
+
+// Inspect replays the log in opts-free read-only mode: no new segment is
+// created, nothing is compacted, and the directory is left byte-for-byte
+// untouched, so it is safe to run over the log of a crashed process before
+// restarting it. Crash harnesses and operator tooling use it as ground
+// truth for what the log durably holds.
+func Inspect(dir string) (*Replay, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("wal: directory is required")
+	}
+	w := &WAL{dir: dir, jobSeg: make(map[int64]*segment)}
+	replay, err := w.replayDir()
+	if err != nil {
+		return nil, err
+	}
+	replay.TornTail = w.tornTail
+	return replay, nil
+}
+
+// replayDir scans every existing segment in index order, building the
+// replay result and the per-segment outstanding counts.
+func (w *WAL) replayDir() (*Replay, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading directory: %w", err)
+	}
+	var indexes []uint64
+	for _, e := range entries {
+		var idx uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%016x.log", &idx); n == 1 {
+			indexes = append(indexes, idx)
+		}
+	}
+	sort.Slice(indexes, func(i, j int) bool { return indexes[i] < indexes[j] })
+
+	replay := &Replay{}
+	// pending preserves acceptance order; the map indexes into it.
+	type pendingJob struct {
+		rec      Record
+		seg      *segment
+		terminal *Record // nil while unfinished
+	}
+	var pending []*pendingJob
+	byID := make(map[int64]*pendingJob)
+	orphans := make(map[int64]bool)
+
+	for i, idx := range indexes {
+		seg := &segment{index: idx, path: segmentPath(w.dir, idx)}
+		final := i == len(indexes)-1
+		if err := w.replaySegment(seg, final, func(rec Record) {
+			if rec.ID > replay.MaxID {
+				replay.MaxID = rec.ID
+			}
+			switch rec.Kind {
+			case KindAccepted:
+				p := &pendingJob{rec: rec, seg: seg}
+				seg.outstanding++
+				pending = append(pending, p)
+				byID[rec.ID] = p
+			case KindCompleted, KindCanceled:
+				// A mark for an id with no live accept record means the accept
+				// sat in an already-compacted segment: the job is durably
+				// terminal but its history is gone.
+				if p := byID[rec.ID]; p != nil && p.terminal == nil {
+					mark := rec
+					p.terminal = &mark
+					p.seg.outstanding--
+				} else if p == nil {
+					orphans[rec.ID] = true
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+		w.segments = append(w.segments, seg)
+	}
+
+	for _, p := range pending {
+		if p.terminal == nil {
+			replay.Unfinished = append(replay.Unfinished, ReplayedJob{ID: p.rec.ID, Spec: p.rec.Spec})
+			w.jobSeg[p.rec.ID] = p.seg
+		} else {
+			replay.Terminal = append(replay.Terminal, TerminalJob{
+				ID:      p.rec.ID,
+				Kind:    p.terminal.Kind,
+				Outcome: p.terminal.Outcome,
+				Spec:    p.rec.Spec,
+			})
+		}
+	}
+	for id := range orphans {
+		replay.Orphans = append(replay.Orphans, id)
+	}
+	sort.Slice(replay.Orphans, func(i, j int) bool { return replay.Orphans[i] < replay.Orphans[j] })
+	return replay, nil
+}
+
+// replaySegment streams one segment's records into visit. In the final
+// segment a torn or corrupt record ends the replay cleanly (a crash mid
+// append tears exactly there); anywhere else it is a hard error, because
+// sealed segments were fully synced before rotation.
+func (w *WAL) replaySegment(seg *segment, final bool, visit func(Record)) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	magic := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != segmentMagic {
+		// A crash between creating the next segment file and flushing its
+		// header leaves a short or garbled final segment; treat it as the
+		// (empty) torn tail. Earlier segments were synced header-first.
+		if final {
+			w.tornTail = true
+			return nil
+		}
+		return fmt.Errorf("wal: segment %s: bad magic", seg.path)
+	}
+	seg.bytes = int64(len(segmentMagic))
+
+	var scratch []byte
+	for {
+		rec, n, buf, err := readRecord(r, scratch)
+		scratch = buf
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if errors.Is(err, errCorruptRecord) && final {
+				w.tornTail = true
+				return nil
+			}
+			return fmt.Errorf("wal: segment %s: %w", seg.path, err)
+		}
+		seg.bytes += int64(n)
+		visit(rec)
+	}
+}
+
+// openSegment creates and activates a fresh segment file. Callers must not
+// hold w.mu (Open) or must hold it (rotation) — it touches only fields the
+// caller already owns exclusively.
+func (w *WAL) openSegment(index uint64) error {
+	f, err := os.OpenFile(segmentPath(w.dir, index), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	seg := &segment{index: index, path: f.Name(), bytes: int64(len(segmentMagic))}
+	w.f = f
+	if w.bw == nil {
+		w.bw = bufio.NewWriterSize(f, 1<<16)
+	} else {
+		w.bw.Reset(f)
+	}
+	if _, err := w.bw.WriteString(segmentMagic); err != nil {
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	w.segments = append(w.segments, seg)
+	return nil
+}
+
+// AppendAccepted durably records an accepted job before the caller
+// acknowledges it. It returns once the record is fsynced (possibly by a
+// concurrent appender's group commit).
+func (w *WAL) AppendAccepted(id int64, spec api.JobSpec) error {
+	w.mu.Lock()
+	seq, err := w.appendLocked(Record{Kind: KindAccepted, ID: id, Spec: spec})
+	if err == nil {
+		seg := w.segments[len(w.segments)-1]
+		seg.outstanding++
+		w.jobSeg[id] = seg
+	}
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.syncTo(seq)
+}
+
+// AppendCompleted durably marks a job's executed terminal state (done or
+// failed) and then compacts any newly fully-terminal segment prefix.
+func (w *WAL) AppendCompleted(id int64, outcome byte) error {
+	return w.appendMark(Record{Kind: KindCompleted, ID: id, Outcome: outcome})
+}
+
+// AppendCanceled durably marks a job canceled before execution.
+func (w *WAL) AppendCanceled(id int64) error {
+	return w.appendMark(Record{Kind: KindCanceled, ID: id})
+}
+
+func (w *WAL) appendMark(rec Record) error {
+	w.mu.Lock()
+	seq, err := w.appendLocked(rec)
+	if err == nil {
+		if seg, ok := w.jobSeg[rec.ID]; ok {
+			seg.outstanding--
+			seg.lastMark = seq
+			delete(w.jobSeg, rec.ID)
+		}
+	}
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := w.syncTo(seq); err != nil {
+		return err
+	}
+	// Only now is the mark durable; a segment freed by it may be dropped.
+	w.compact()
+	return nil
+}
+
+// appendLocked encodes rec into the reused buffer and writes it to the
+// buffered active segment, returning the record's append sequence. The
+// fsync (and any rotation) is the sync leader's job. Callers hold w.mu.
+func (w *WAL) appendLocked(rec Record) (uint64, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if err := w.syncPoisoned(); err != nil {
+		return 0, err
+	}
+	w.buf = AppendRecord(w.buf[:0], rec)
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return 0, fmt.Errorf("wal: appending record: %w", err)
+	}
+	w.written++
+	w.appends++
+	w.bytes += int64(len(w.buf))
+	w.segments[len(w.segments)-1].bytes += int64(len(w.buf))
+	return w.written, nil
+}
+
+// syncPoisoned reports the sticky sync error, if any.
+func (w *WAL) syncPoisoned() error {
+	w.syncMu.Lock()
+	err := w.syncErr
+	w.syncMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: log poisoned by earlier sync failure: %w", err)
+	}
+	return nil
+}
+
+// syncTo blocks until append sequence seq is durable. One caller at a time
+// becomes the sync leader: it flushes the buffered writer, rotates the
+// segment if due, and issues the fsync; everyone else waits on the cohort
+// and shares the result. A sync failure is sticky — durability can no
+// longer be promised, so every future append fails too.
+func (w *WAL) syncTo(seq uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	for {
+		if w.syncErr != nil {
+			return fmt.Errorf("wal: sync: %w", w.syncErr)
+		}
+		if w.synced >= seq {
+			return nil
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.syncMu.Unlock()
+
+		w.mu.Lock()
+		target := w.written
+		err := w.bw.Flush()
+		var f *os.File
+		if err == nil {
+			if w.segments[len(w.segments)-1].bytes >= w.segBytes {
+				// Rotation syncs and closes the old file itself, so records
+				// up to target are durable once it returns; no further
+				// fsync needed for this cohort.
+				err = w.rotateLocked()
+			} else {
+				f = w.f
+			}
+		}
+		w.mu.Unlock()
+
+		if err == nil && f != nil {
+			if w.testSyncDelay != nil {
+				w.testSyncDelay()
+			}
+			err = f.Sync()
+		}
+
+		w.syncMu.Lock()
+		w.syncing = false
+		w.fsyncs++
+		if err != nil {
+			w.syncErr = err
+		} else if target > w.synced {
+			w.synced = target
+		}
+		w.syncCond.Broadcast()
+	}
+}
+
+// rotateLocked seals the active segment (flushed by the caller; here it is
+// synced and closed) and opens the next one. Callers hold w.mu and are the
+// sync leader, so no other goroutine can be mid-Sync on the old file.
+func (w *WAL) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	next := w.segments[len(w.segments)-1].index + 1
+	return w.openSegment(next)
+}
+
+// compact deletes the longest prefix of sealed segments whose accepted
+// jobs are all durably marked terminal. Prefix-only deletion is what keeps
+// replay correct: a surviving segment may hold marks for compacted
+// accepts (ignored as unknown), but never the other way around.
+func (w *WAL) compact() {
+	w.syncMu.Lock()
+	synced := w.synced
+	w.syncMu.Unlock()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.segments) > 1 {
+		seg := w.segments[0]
+		if seg.outstanding != 0 || seg.lastMark > synced {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			// Leave it for the next attempt (or the operator); an
+			// undeleted segment only costs disk, never correctness.
+			break
+		}
+		w.segments = w.segments[1:]
+		w.compacted++
+	}
+}
+
+// Stats snapshots the counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	s := Stats{
+		Appends:      w.appends,
+		ReplayedJobs: w.replayed,
+		Segments:     len(w.segments),
+		Bytes:        w.bytes,
+		TornTail:     w.tornTail,
+	}
+	compacted := w.compacted
+	w.mu.Unlock()
+	w.syncMu.Lock()
+	s.Fsyncs = w.fsyncs
+	w.syncMu.Unlock()
+	s.Compacted = compacted
+	return s
+}
+
+// Close flushes and syncs the active segment and closes the log. Appends
+// after Close fail with ErrClosed. Close is idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.bw.Flush()
+	if syncErr := w.f.Sync(); err == nil {
+		err = syncErr
+	}
+	if closeErr := w.f.Close(); err == nil {
+		err = closeErr
+	}
+	w.mu.Unlock()
+
+	// Wake every cohort waiter; whatever was flushed above is durable.
+	w.syncMu.Lock()
+	if err == nil {
+		w.synced = w.written
+	} else if w.syncErr == nil {
+		w.syncErr = err
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	return err
+}

@@ -1,0 +1,518 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"relaxsched/internal/api"
+)
+
+func testSpec(i int) api.JobSpec {
+	return api.JobSpec{
+		Workload: "pagerank",
+		Mode:     "relaxed",
+		Graph: api.GraphSpec{
+			Model:    "gnp",
+			N:        400 + i,
+			Edges:    1600,
+			Exponent: 2.5,
+			Seed:     7,
+		},
+		Priority:  uint32(1000 - i),
+		K:         16,
+		Threads:   2,
+		Batch:     32,
+		Seed:      uint64(i) * 977,
+		Delta:     4,
+		Damping:   0.85,
+		Tolerance: 1e-9,
+		Source:    -1,
+		Verify:    true,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindAccepted, ID: 1, Spec: testSpec(0)},
+		{Kind: KindAccepted, ID: math.MaxInt64, Spec: api.JobSpec{Source: -1}},
+		{Kind: KindAccepted, ID: 7, Spec: api.JobSpec{Workload: "sssp", Mode: "exact", Source: 3}},
+		{Kind: KindCompleted, ID: 2, Outcome: OutcomeDone},
+		{Kind: KindCompleted, ID: 3, Outcome: OutcomeFailed},
+		{Kind: KindCanceled, ID: 4},
+	}
+	var buf []byte
+	for _, rec := range recs {
+		buf = AppendRecord(buf, rec)
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeRecordRejectsCorruption(t *testing.T) {
+	good := AppendRecord(nil, Record{Kind: KindAccepted, ID: 42, Spec: testSpec(1)})
+	t.Run("short", func(t *testing.T) {
+		for n := 0; n < len(good); n++ {
+			if _, _, err := DecodeRecord(good[:n]); !errors.Is(err, errCorruptRecord) {
+				t.Fatalf("prefix of %d bytes: err = %v, want corrupt", n, err)
+			}
+		}
+	})
+	t.Run("bitflips", func(t *testing.T) {
+		for i := range good {
+			mut := append([]byte(nil), good...)
+			mut[i] ^= 0x40
+			if _, _, err := DecodeRecord(mut); !errors.Is(err, errCorruptRecord) {
+				t.Fatalf("flip at byte %d: err = %v, want corrupt", i, err)
+			}
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		// Re-encode with a bogus kind and a fresh CRC: the CRC passes, the
+		// payload check must still reject it.
+		mut := append([]byte(nil), AppendRecord(nil, Record{Kind: KindCanceled, ID: 1})...)
+		mut[8] = 99
+		patchCRC(mut)
+		if _, _, err := DecodeRecord(mut); !errors.Is(err, errCorruptRecord) {
+			t.Fatalf("unknown kind: err = %v, want corrupt", err)
+		}
+	})
+}
+
+// patchCRC recomputes the leading CRC of a single encoded record so tests
+// can corrupt payloads without tripping the checksum.
+func patchCRC(b []byte) {
+	binary.LittleEndian.PutUint32(b, crc32.Checksum(b[4:], crcTable))
+}
+
+func openT(t *testing.T, dir string, segBytes int64) (*WAL, *Replay) {
+	t.Helper()
+	w, rep, err := Open(Options{Dir: dir, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, rep
+}
+
+func TestOpenEmptyAndReplayUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	w, rep := openT(t, dir, 0)
+	if len(rep.Unfinished) != 0 || len(rep.Terminal) != 0 || rep.MaxID != 0 {
+		t.Fatalf("fresh log replay not empty: %+v", rep)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+			t.Fatalf("AppendAccepted(%d): %v", i, err)
+		}
+	}
+	if err := w.AppendCompleted(2, OutcomeDone); err != nil {
+		t.Fatalf("AppendCompleted: %v", err)
+	}
+	if err := w.AppendCompleted(4, OutcomeFailed); err != nil {
+		t.Fatalf("AppendCompleted: %v", err)
+	}
+	if err := w.AppendCanceled(5); err != nil {
+		t.Fatalf("AppendCanceled: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, rep := openT(t, dir, 0)
+	defer w2.Close()
+	if rep.MaxID != 5 {
+		t.Fatalf("MaxID = %d, want 5", rep.MaxID)
+	}
+	var ids []int64
+	for _, j := range rep.Unfinished {
+		ids = append(ids, j.ID)
+		if !reflect.DeepEqual(j.Spec, testSpec(int(j.ID))) {
+			t.Fatalf("job %d: replayed spec mismatch: %+v", j.ID, j.Spec)
+		}
+	}
+	if !reflect.DeepEqual(ids, []int64{1, 3}) {
+		t.Fatalf("unfinished ids = %v, want [1 3]", ids)
+	}
+	wantTerm := map[int64][2]byte{2: {KindCompleted, OutcomeDone}, 4: {KindCompleted, OutcomeFailed}, 5: {KindCanceled, 0}}
+	if len(rep.Terminal) != len(wantTerm) {
+		t.Fatalf("terminal = %+v, want ids 2,4,5", rep.Terminal)
+	}
+	for _, tj := range rep.Terminal {
+		want, ok := wantTerm[tj.ID]
+		if !ok || tj.Kind != want[0] || tj.Outcome != want[1] {
+			t.Fatalf("terminal job %+v unexpected", tj)
+		}
+	}
+	if got := w2.Stats().ReplayedJobs; got != 2 {
+		t.Fatalf("ReplayedJobs = %d, want 2", got)
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record or two forces a rotation.
+	w, _ := openT(t, dir, 256)
+	const n = 12
+	for i := 1; i <= n; i++ {
+		if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+			t.Fatalf("AppendAccepted(%d): %v", i, err)
+		}
+	}
+	if s := w.Stats(); s.Segments < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", s.Segments)
+	}
+	for i := 1; i <= n; i++ {
+		if err := w.AppendCompleted(int64(i), OutcomeDone); err != nil {
+			t.Fatalf("AppendCompleted(%d): %v", i, err)
+		}
+	}
+	s := w.Stats()
+	if s.Compacted == 0 {
+		t.Fatalf("expected compaction after all jobs completed: %+v", s)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Everything terminal: restart must replay no unfinished work even
+	// though surviving segments hold marks for compacted accepts.
+	w2, rep := openT(t, dir, 256)
+	defer w2.Close()
+	if len(rep.Unfinished) != 0 {
+		t.Fatalf("unfinished after full completion = %+v", rep.Unfinished)
+	}
+	if rep.MaxID != n {
+		t.Fatalf("MaxID = %d, want %d", rep.MaxID, n)
+	}
+}
+
+func TestCompactionKeepsSegmentsWithOutstandingJobs(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 256)
+	defer w.Close()
+	const n = 10
+	for i := 1; i <= n; i++ {
+		if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+			t.Fatalf("AppendAccepted(%d): %v", i, err)
+		}
+	}
+	// Complete everything except job 1, which pins the first segment — and
+	// with it the whole prefix.
+	for i := 2; i <= n; i++ {
+		if err := w.AppendCompleted(int64(i), OutcomeDone); err != nil {
+			t.Fatalf("AppendCompleted(%d): %v", i, err)
+		}
+	}
+	if s := w.Stats(); s.Compacted != 0 {
+		t.Fatalf("compaction ran despite outstanding job 1: %+v", s)
+	}
+	if err := w.AppendCompleted(1, OutcomeDone); err != nil {
+		t.Fatalf("AppendCompleted(1): %v", err)
+	}
+	if s := w.Stats(); s.Compacted == 0 {
+		t.Fatalf("no compaction after last job completed: %+v", s)
+	}
+}
+
+// TestInspectReadOnly: Inspect must report exactly what Open would replay
+// without creating a segment, compacting, or otherwise touching the
+// directory — it is the crash harness's ground truth between a kill and
+// the restart.
+func TestInspectReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 0)
+	for i := 1; i <= 3; i++ {
+		if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+			t.Fatalf("AppendAccepted(%d): %v", i, err)
+		}
+	}
+	if err := w.AppendCompleted(1, OutcomeDone); err != nil {
+		t.Fatalf("AppendCompleted: %v", err)
+	}
+	// No Close: the log looks exactly like a crashed process left it
+	// (appends are fsynced before they return, so everything is on disk).
+	before := dataSegments(t, dir)
+
+	rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	var ids []int64
+	for _, j := range rep.Unfinished {
+		ids = append(ids, j.ID)
+	}
+	if !reflect.DeepEqual(ids, []int64{2, 3}) {
+		t.Fatalf("unfinished ids = %v, want [2 3]", ids)
+	}
+	if len(rep.Terminal) != 1 || rep.Terminal[0].ID != 1 || rep.Terminal[0].Outcome != OutcomeDone {
+		t.Fatalf("terminal = %+v, want job 1 done", rep.Terminal)
+	}
+	if rep.MaxID != 3 || rep.TornTail {
+		t.Fatalf("MaxID=%d TornTail=%v, want 3/false", rep.MaxID, rep.TornTail)
+	}
+
+	if after := dataSegments(t, dir); !reflect.DeepEqual(after, before) {
+		t.Fatalf("Inspect changed the directory: %v -> %v", before, after)
+	}
+	w.Close()
+}
+
+// TestInspectReportsOrphanMarks: once compaction deletes a segment, the
+// terminal marks of its jobs may survive in newer segments without their
+// accepts. Inspect must surface those ids as Orphans so a crash harness
+// can tell "history compacted" from "acceptance lost". (A job whose accept
+// AND mark both sat in compacted segments vanishes from the log entirely —
+// also fine: both records were durably terminal before compaction touched
+// them, and an unfinished accept pins its segment forever.)
+func TestInspectReportsOrphanMarks(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 128) // tiny segments: every few records rotate
+	const jobs = 8
+	for i := 1; i <= jobs; i++ {
+		if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+			t.Fatalf("AppendAccepted(%d): %v", i, err)
+		}
+	}
+	for i := 1; i <= jobs; i++ {
+		if err := w.AppendCompleted(int64(i), OutcomeDone); err != nil {
+			t.Fatalf("AppendCompleted(%d): %v", i, err)
+		}
+	}
+	if s := w.Stats(); s.Compacted == 0 {
+		t.Fatalf("tiny segments never compacted: %+v", s)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if len(rep.Unfinished) != 0 {
+		t.Fatalf("unfinished after full completion: %+v", rep.Unfinished)
+	}
+	if len(rep.Orphans) == 0 {
+		t.Fatalf("compaction ran but Inspect reports no orphan marks: %+v", rep)
+	}
+	terminal := make(map[int64]bool)
+	for _, j := range rep.Terminal {
+		terminal[j.ID] = true
+	}
+	for _, id := range rep.Orphans {
+		if terminal[id] {
+			t.Fatalf("job %d is both terminal and orphan: %+v", id, rep)
+		}
+		if id < 1 || id > jobs {
+			t.Fatalf("orphan id %d was never written: %+v", id, rep)
+		}
+	}
+	// The active segment never compacts, so the newest mark always survives
+	// — job 8's accept is long gone, making it an orphan.
+	if last := rep.Orphans[len(rep.Orphans)-1]; last != jobs {
+		t.Fatalf("last orphan = %d, want %d: %+v", last, jobs, rep)
+	}
+}
+
+func dataSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestReplayTornTail(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-3); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bitflip", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-2] ^= 0x10
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, _ := openT(t, dir, 0)
+			for i := 1; i <= 4; i++ {
+				if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs := dataSegments(t, dir)
+			if len(segs) != 1 {
+				t.Fatalf("segments = %v, want 1", segs)
+			}
+			// Corrupt the tail record: replay must stop at job 3.
+			tc.corrupt(t, segs[0])
+
+			w2, rep := openT(t, dir, 0)
+			defer w2.Close()
+			var ids []int64
+			for _, j := range rep.Unfinished {
+				ids = append(ids, j.ID)
+			}
+			if !reflect.DeepEqual(ids, []int64{1, 2, 3}) {
+				t.Fatalf("unfinished after torn tail = %v, want [1 2 3]", ids)
+			}
+			if !w2.Stats().TornTail {
+				t.Fatal("Stats().TornTail = false after torn tail")
+			}
+		})
+	}
+}
+
+func TestReplayCorruptionInSealedSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 256)
+	for i := 1; i <= 8; i++ {
+		if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := dataSegments(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("segments = %v, want several", segs)
+	}
+	// Corruption in a sealed (non-final) segment is not a torn tail; it
+	// must fail the open loudly.
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0x10
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir, SegmentBytes: 256}); err == nil {
+		t.Fatal("Open succeeded despite corruption in sealed segment")
+	}
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 1<<20)
+	// Slow every fsync down so concurrent appenders reliably pile up
+	// behind the sync leader: batching becomes observable, not a race.
+	w.testSyncDelay = func() { time.Sleep(2 * time.Millisecond) }
+	const goroutines, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := int64(g*per + i + 1)
+				if err := w.AppendAccepted(id, testSpec(int(id))); err != nil {
+					t.Errorf("AppendAccepted(%d): %v", id, err)
+					return
+				}
+				if err := w.AppendCompleted(id, OutcomeDone); err != nil {
+					t.Errorf("AppendCompleted(%d): %v", id, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := w.Stats()
+	if want := int64(goroutines * per * 2); s.Appends != want {
+		t.Fatalf("Appends = %d, want %d", s.Appends, want)
+	}
+	if s.Fsyncs >= s.Appends {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", s.Fsyncs, s.Appends)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, rep := openT(t, dir, 1<<20)
+	defer w2.Close()
+	if len(rep.Unfinished) != 0 {
+		t.Fatalf("unfinished = %+v, want none", rep.Unfinished)
+	}
+	if rep.MaxID != goroutines*per {
+		t.Fatalf("MaxID = %d, want %d", rep.MaxID, goroutines*per)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	w, _ := openT(t, t.TempDir(), 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendAccepted(1, testSpec(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestAppendRecordAllocs(t *testing.T) {
+	spec := testSpec(3)
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendRecord(buf[:0], Record{Kind: KindAccepted, ID: 12345, Spec: spec})
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendRecord allocations = %v, want 0", allocs)
+	}
+}
+
+func TestSegmentFileNaming(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := dataSegments(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want 1", segs)
+	}
+	var idx uint64
+	if n, _ := fmt.Sscanf(filepath.Base(segs[0]), "wal-%016x.log", &idx); n != 1 || idx != 1 {
+		t.Fatalf("first segment name %q, want wal-%016x.log", filepath.Base(segs[0]), 1)
+	}
+}
