@@ -281,6 +281,21 @@ func TestCrashReplaySmokeBinary(t *testing.T) {
 	}
 	verifyRecovery(t, d2, led, true)
 	d2.term()
+
+	// The torn-tail boot truncated the tear away before sealing the
+	// segment. A second restart sees that segment as sealed — where
+	// corruption is a hard boot error — so it must come up clean: daemon
+	// boots, nothing flagged torn, nothing replayed, history intact.
+	d3 := startDaemon(t, bin, args...)
+	m3 := d3.metrics()
+	if m3.WAL == nil || m3.WAL.TornTail {
+		t.Fatalf("torn tail still flagged two boots after the tear: %+v", m3.WAL)
+	}
+	if m3.WAL.ReplayedJobs != 0 {
+		t.Fatalf("repaired log replayed %d jobs", m3.WAL.ReplayedJobs)
+	}
+	verifyRecovery(t, d3, led, true)
+	d3.term()
 }
 
 // TestCrashCompactionChurnBinary repeats the kill loop with tiny segments

@@ -87,15 +87,17 @@ func TestLoadResultReportsUnfinished(t *testing.T) {
 func TestRunLoadBacksOffWhenQueueFull(t *testing.T) {
 	_, srv := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
 	// Jobs big enough that the single worker stays busy for many poll
-	// intervals: with one slot queued behind it, the other clients must hit
-	// the 429 path.
+	// intervals even with the graph cache warm: with one slot queued behind
+	// it, the other clients must hit the 429 path. (At 60k nodes a warm-cache
+	// MIS pass occasionally finished inside the submit gap and the run saw
+	// zero rejections.)
 	res, err := RunLoad(context.Background(), LoadConfig{
 		BaseURL:   srv.URL,
 		Clients:   4,
 		Jobs:      8,
 		Workloads: []string{"mis"},
 		Mode:      "sequential",
-		Graph:     GraphSpec{Model: ModelGNP, N: 60_000, Edges: 240_000, Seed: 2},
+		Graph:     GraphSpec{Model: ModelGNP, N: 400_000, Edges: 1_600_000, Seed: 2},
 		Verify:    true,
 	})
 	if err != nil {

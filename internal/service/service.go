@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"sync"
 	"time"
@@ -442,7 +443,13 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			// would resurrect a job whose submitter was told "draining".
 			m.counts.Rejected++
 			m.mu.Unlock()
-			_ = m.wlog.AppendCanceled(id)
+			if werr := m.wlog.AppendCanceled(id); werr != nil {
+				// The compensating mark could not be persisted (poisoned
+				// log); after a restart this job will replay and execute
+				// even though its submitter was rejected. There is nobody
+				// left to hand the error to, so log it for the operator.
+				log.Printf("service: drain-rejected job %d: cancel mark not persisted, job may execute after restart: %v", id, werr)
+			}
 			return JobStatus{}, ErrDraining
 		}
 	}
@@ -582,8 +589,12 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 	m.runCancel()
 
-	// Whatever is still queued (forced drain only) will never run.
-	var canceled []int64
+	// Whatever is still queued (forced drain only) will never run. Pop it
+	// all first, make the cancel marks durable, and only then expose the
+	// canceled states — the same mark-durable-before-visible order finish
+	// enforces, so a crash in between re-runs the jobs on the next boot
+	// instead of contradicting a cancellation a client already observed.
+	var canceled []*job
 	m.mu.Lock()
 	for m.pending > 0 {
 		it, ok := m.queue.ApproxGetMin()
@@ -593,23 +604,43 @@ func (m *Manager) Close(ctx context.Context) error {
 		m.tracker.Remove(it)
 		m.pending--
 		if j := m.jobs[int64(it.Task)]; j != nil && j.state == StateQueued {
-			j.state = StateCanceled
-			j.err = context.Canceled
-			m.counts.Canceled++
-			m.retainLocked(j.id)
-			canceled = append(canceled, j.id)
+			canceled = append(canceled, j)
 		}
 	}
 	m.mu.Unlock()
 
 	if m.wlog != nil {
 		// A forced drain is a deliberate discard: mark the abandoned jobs
-		// canceled durably so a later boot does not resurrect them, then
-		// seal the log. (After SIGKILL there are no marks — that is the
-		// point: unfinished jobs replay.)
-		for _, id := range canceled {
-			_ = m.wlog.AppendCanceled(id)
+		// canceled durably so a later boot does not resurrect them. (After
+		// SIGKILL there are no marks — that is the point: unfinished jobs
+		// replay.)
+		durable := 0
+		for _, j := range canceled {
+			werr := m.wlog.AppendCanceled(j.id)
+			if werr != nil {
+				// The log can no longer record cancellations (poisoned sync,
+				// most likely). Leave the remaining jobs in their queued
+				// state — the next boot replays and runs them, and a visible
+				// "canceled" would promise the opposite — and surface the
+				// failure alongside any drain-deadline error.
+				err = errors.Join(err, fmt.Errorf("service: recording drain cancellations: %w", werr))
+				break
+			}
+			durable++
 		}
+		canceled = canceled[:durable]
+	}
+
+	m.mu.Lock()
+	for _, j := range canceled {
+		j.state = StateCanceled
+		j.err = context.Canceled
+		m.counts.Canceled++
+		m.retainLocked(j.id)
+	}
+	m.mu.Unlock()
+
+	if m.wlog != nil {
 		if cerr := m.wlog.Close(); cerr != nil && err == nil {
 			err = cerr
 		}

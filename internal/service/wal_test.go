@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -173,6 +174,50 @@ func TestManagerWALForcedDrainCancelsDurably(t *testing.T) {
 		if st.State != StateCanceled || !st.Recovered {
 			t.Fatalf("job %d after forced-drain reboot = state %q recovered %v", id, st.State, st.Recovered)
 		}
+	}
+}
+
+// TestManagerWALForcedDrainSurfacesMarkFailure pins the other half of the
+// forced-drain contract: when the log cannot record the cancellations,
+// Close must surface the failure and must NOT expose the jobs as canceled
+// — leaving them queued matches what the next boot does (replay and run
+// them), whereas a visible "canceled" would promise the opposite.
+func TestManagerWALForcedDrainSurfacesMarkFailure(t *testing.T) {
+	dir := t.TempDir()
+	m := walManager(t, dir, Options{startPaused: true})
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		st, err := m.Submit(testSpec("mis", "sequential"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// Seal the log out from under the manager: every further append fails,
+	// which is observationally the poisoned-log state Close must survive.
+	if err := m.wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := m.Close(ctx)
+	if err == nil || !strings.Contains(err.Error(), "drain cancellations") {
+		t.Fatalf("Close error = %v, want surfaced drain-cancellation failure", err)
+	}
+	for _, id := range ids {
+		st, serr := m.Status(id)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if st.State != StateQueued {
+			t.Fatalf("job %d state = %q after unrecordable cancel, want queued", id, st.State)
+		}
+	}
+	// The next boot keeps the queued promise: all three replay.
+	m2 := walManager(t, dir, Options{})
+	defer m2.Close(context.Background())
+	if w := m2.Metrics().WAL; w == nil || w.ReplayedJobs != int64(len(ids)) {
+		t.Fatalf("WAL after reboot = %+v, want %d replayed", w, len(ids))
 	}
 }
 

@@ -17,7 +17,9 @@
 //     mark are returned for re-enqueue (original spec and priority); jobs
 //     with marks are returned as terminal history. A torn tail in the
 //     final segment — the only place a crash can tear a write — ends the
-//     replay cleanly at the last valid record; corruption in any earlier
+//     replay cleanly at the last valid record, and Open truncates the
+//     tear away before sealing the segment (so the repaired segment
+//     replays cleanly on every later boot); corruption in any earlier
 //     segment is a hard error, because those segments were fully synced
 //     before rotation.
 //   - Segments rotate at SegmentBytes. A prefix of sealed segments whose
@@ -155,6 +157,7 @@ type WAL struct {
 	syncMu    sync.Mutex
 	syncCond  *sync.Cond
 	syncing   bool
+	closing   bool // Close in progress: no new sync leaders may start
 	synced    uint64
 	syncErr   error
 	fsyncs    int64
@@ -205,6 +208,16 @@ func Open(opts Options) (*WAL, *Replay, error) {
 	}
 	w.replayed = int64(len(replay.Unfinished))
 	replay.TornTail = w.tornTail
+	if w.tornTail {
+		// Repair the tear now, while the segment is still final. Once this
+		// Open seals it behind a fresh active segment, corruption in it
+		// would be a hard error on every later boot — tolerating the tear
+		// without truncating it would make the *second* restart after a
+		// crash fail.
+		if err := w.truncateTornTail(); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	// Start the new active segment above every existing index.
 	var next uint64 = 1
@@ -359,6 +372,36 @@ func (w *WAL) replaySegment(seg *segment, final bool, visit func(Record)) error 
 	}
 }
 
+// truncateTornTail cuts the final segment back to its last valid record
+// after replay found a tear, and syncs the cut. replaySegment left
+// seg.bytes at exactly the byte offset replay stopped at, so everything
+// replayed survives and only the torn garbage goes. A final segment
+// without even a valid header (a crash between creating the file and
+// flushing the magic) holds nothing replayable and is deleted outright.
+func (w *WAL) truncateTornTail() error {
+	n := len(w.segments)
+	seg := w.segments[n-1]
+	if seg.bytes < int64(len(segmentMagic)) {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: removing headerless torn segment: %w", err)
+		}
+		w.segments = w.segments[:n-1]
+		return nil
+	}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: repairing torn segment: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(seg.bytes); err != nil {
+		return fmt.Errorf("wal: truncating torn segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing truncated segment: %w", err)
+	}
+	return nil
+}
+
 // openSegment creates and activates a fresh segment file. Callers must not
 // hold w.mu (Open) or must hold it (rotation) — it touches only fields the
 // caller already owns exclusively.
@@ -479,7 +522,10 @@ func (w *WAL) syncTo(seq uint64) error {
 		if w.synced >= seq {
 			return nil
 		}
-		if w.syncing {
+		if w.syncing || w.closing {
+			// An in-flight leader covers us, or Close is about to flush and
+			// sync everything buffered (including seq) itself; either way the
+			// next broadcast resolves this wait.
 			w.syncCond.Wait()
 			continue
 		}
@@ -583,6 +629,19 @@ func (w *WAL) Stats() Stats {
 // Close flushes and syncs the active segment and closes the log. Appends
 // after Close fail with ErrClosed. Close is idempotent.
 func (w *WAL) Close() error {
+	// Bar new sync leaders and wait out any in-flight one before touching
+	// the file: a leader holds no lock during its fsync, so closing the
+	// file under it would fail that sync with "file already closed" and
+	// permanently poison a log whose records this Close makes durable
+	// anyway. Waiters parked behind the barred leader are resolved by the
+	// broadcast below — Close's own flush+sync covers their records.
+	w.syncMu.Lock()
+	w.closing = true
+	for w.syncing {
+		w.syncCond.Wait()
+	}
+	w.syncMu.Unlock()
+
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -596,12 +655,15 @@ func (w *WAL) Close() error {
 	if closeErr := w.f.Close(); err == nil {
 		err = closeErr
 	}
+	written := w.written
 	w.mu.Unlock()
 
 	// Wake every cohort waiter; whatever was flushed above is durable.
 	w.syncMu.Lock()
 	if err == nil {
-		w.synced = w.written
+		if written > w.synced {
+			w.synced = written
+		}
 	} else if w.syncErr == nil {
 		w.syncErr = err
 	}

@@ -387,7 +387,6 @@ func TestReplayTornTail(t *testing.T) {
 			tc.corrupt(t, segs[0])
 
 			w2, rep := openT(t, dir, 0)
-			defer w2.Close()
 			var ids []int64
 			for _, j := range rep.Unfinished {
 				ids = append(ids, j.ID)
@@ -398,7 +397,106 @@ func TestReplayTornTail(t *testing.T) {
 			if !w2.Stats().TornTail {
 				t.Fatal("Stats().TornTail = false after torn tail")
 			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Open truncated the tear away before sealing the segment behind
+			// a fresh active one. The next boot sees it as a sealed segment —
+			// where corruption is a hard error — so it must replay cleanly,
+			// with the same unfinished set and nothing torn.
+			w3, rep3 := openT(t, dir, 0)
+			defer w3.Close()
+			ids = ids[:0]
+			for _, j := range rep3.Unfinished {
+				ids = append(ids, j.ID)
+			}
+			if !reflect.DeepEqual(ids, []int64{1, 2, 3}) {
+				t.Fatalf("unfinished after repaired reopen = %v, want [1 2 3]", ids)
+			}
+			if rep3.TornTail || w3.Stats().TornTail {
+				t.Fatal("torn tail still flagged after Open repaired it")
+			}
 		})
+	}
+}
+
+// TestReplayHeaderlessFinalSegment covers a crash between creating the
+// next segment file and flushing its magic: the final segment holds
+// nothing replayable, so Open must flag the (empty) torn tail, delete the
+// dead file, and leave the log rebooting cleanly ever after.
+func TestReplayHeaderlessFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 0)
+	for i := 1; i <= 2; i++ {
+		if err := w.AppendAccepted(int64(i), testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dead := segmentPath(dir, 99)
+	if err := os.WriteFile(dead, []byte(segmentMagic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for reopen := 0; reopen < 2; reopen++ {
+		w2, rep := openT(t, dir, 0)
+		var ids []int64
+		for _, j := range rep.Unfinished {
+			ids = append(ids, j.ID)
+		}
+		if !reflect.DeepEqual(ids, []int64{1, 2}) {
+			t.Fatalf("reopen %d: unfinished = %v, want [1 2]", reopen, ids)
+		}
+		if rep.TornTail != (reopen == 0) {
+			t.Fatalf("reopen %d: TornTail = %v", reopen, rep.TornTail)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(dead); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("headerless segment still on disk: %v", err)
+	}
+}
+
+// TestCloseWaitsForInflightSync pins Close against a group-commit leader
+// mid-fsync: Close must wait the leader out instead of closing the file
+// under its Sync — the resulting "file already closed" would permanently
+// poison a log whose records Close itself made durable.
+func TestCloseWaitsForInflightSync(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openT(t, dir, 0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	w.testSyncDelay = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	appendErr := make(chan error, 1)
+	go func() { appendErr <- w.AppendAccepted(1, testSpec(1)) }()
+	<-entered
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- w.Close() }()
+	// Give a buggy Close time to close the file out from under the parked
+	// leader, then let the leader issue its fsync.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	if err := <-appendErr; err != nil {
+		t.Fatalf("append racing Close: %v", err)
+	}
+	if err := <-closeErr; err != nil {
+		t.Fatalf("Close racing sync leader: %v", err)
+	}
+	w2, rep := openT(t, dir, 0)
+	defer w2.Close()
+	if len(rep.Unfinished) != 1 || rep.Unfinished[0].ID != 1 {
+		t.Fatalf("record appended across Close race not replayed: %+v", rep)
 	}
 }
 
