@@ -13,7 +13,8 @@ test:
 # Race-enabled tests on the packages with real concurrency: the executors
 # (static and dynamic), every scheduler family, the dynamic-priority
 # workloads (sssp, kcore, pagerank), the workload registry, the job service
-# (worker pool, graph cache, drain) and its daemon, and the end-to-end
+# (worker pool, graph cache, drain) and its daemon, the trace/metrics
+# observability layer, and the end-to-end
 # integration matrix.
 race:
 	$(GO) test -race ./internal/core/... ./internal/sched/... \
@@ -21,6 +22,7 @@ race:
 		./internal/algos/pagerank/... ./internal/workload/... \
 		./internal/api/... ./internal/ranktrack/... \
 		./internal/control/... ./internal/wal/... \
+		./internal/trace/... ./internal/metricsexport/... \
 		./internal/service/... ./cmd/relaxd/... \
 		./internal/gateway/... ./cmd/relaxgw/... \
 		./internal/integration/...
@@ -94,8 +96,9 @@ serve:
 
 # Service smoke, as run by CI: build the relaxd binary, boot it, drive a
 # MIS and a PageRank job over real HTTP, assert both verify and that a
-# repeated identical submit hits the graph cache, then SIGTERM and require
-# a clean drain (exit 0).
+# repeated identical submit hits the graph cache, scrape the Prometheus
+# exposition, fetch a finished job's trace, hit the -debug-addr expvar
+# listener, then SIGTERM and require a clean drain (exit 0).
 serve-smoke:
 	RELAXSCHED_SMOKE_SERVE=1 $(GO) test -run '^TestServeSmokeBinary$$' -v ./cmd/relaxd/
 
@@ -118,7 +121,9 @@ serve-cluster:
 # Cluster smoke, as run by CI: build relaxd and relaxgw, boot two backends
 # and the gateway, submit jobs through the gateway, assert graph-affinity
 # routing via the owning node's cache hit and the cluster metrics
-# aggregate, then SIGTERM all three and require clean exits.
+# aggregate, scrape the gateway's Prometheus exposition (distinct
+# per-backend labels) and a job trace led by the gateway's submit hop,
+# then SIGTERM all three and require clean exits.
 serve-cluster-smoke:
 	RELAXSCHED_SMOKE_CLUSTER=1 $(GO) test -run '^TestClusterSmokeBinary$$' -v ./cmd/relaxgw/
 

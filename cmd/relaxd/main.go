@@ -16,12 +16,19 @@
 //
 // API (see internal/api):
 //
-//	POST /v1/jobs         submit  {"workload":"mis","mode":"concurrent","graph":{"n":100000,"edges":1000000,"seed":7},"priority":10}
-//	GET  /v1/jobs/{id}    status/result
-//	GET  /v1/workloads    registry listing
-//	GET  /v1/metrics      jobs by state, queue depth, cache hits, wasted work, rank error, controller state
-//	POST /v1/drain        stop admission
-//	GET  /healthz         liveness
+//	POST /v1/jobs               submit  {"workload":"mis","mode":"concurrent","graph":{"n":100000,"edges":1000000,"seed":7},"priority":10}
+//	GET  /v1/jobs/{id}          status/result
+//	GET  /v1/jobs/{id}/trace    per-job lifecycle span timeline (accepted → queued → dispatched → executing → terminal)
+//	GET  /v1/workloads          registry listing
+//	GET  /v1/metrics            jobs by state, queue depth, cache hits, wasted work, rank error, controller state
+//	GET  /v1/metrics/prom       the same counters as Prometheus text exposition, plus latency histograms
+//	POST /v1/drain              stop admission
+//	GET  /healthz               liveness; 200 {"status":"draining"} during a drain
+//
+// Observability: -log-level/-log-format select structured (log/slog) job
+// logging — every accepted and finished job logs with its job_id and
+// X-Relax-Trace-Id — and -debug-addr serves net/http/pprof and
+// /debug/vars on a separate listener.
 //
 // SIGINT/SIGTERM drain gracefully: HTTP stays up through the drain — new
 // submissions get 503 while status polls keep working — and queued and
@@ -43,7 +50,9 @@ import (
 	"syscall"
 	"time"
 
+	"relaxsched/internal/metricsexport"
 	"relaxsched/internal/service"
+	"relaxsched/internal/trace"
 )
 
 func main() {
@@ -72,8 +81,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ctrlEvery  = fs.Duration("control-interval", 250*time.Millisecond, "-jobsched auto: controller sampling period")
 		walDir     = fs.String("wal-dir", "", "write-ahead job log directory (empty disables durability); accepted jobs are fsynced before the 202 and replayed after a crash")
 		walSegment = fs.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 selects the 4 MiB default)")
+		logLevel   = fs.String("log-level", "info", "structured log level: debug, info, warn, error (debug logs every job acceptance)")
+		logFormat  = fs.String("log-format", "text", "structured log format: text, json")
+		debugAddr  = fs.String("debug-addr", "", "separate listen address for net/http/pprof and /debug/vars (empty disables; keep it off public interfaces)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := trace.NewLogger(out, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	mgr, err := service.NewManager(service.Options{
@@ -89,6 +105,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ControlInterval: *ctrlEvery,
 		WALDir:          *walDir,
 		WALSegmentBytes: *walSegment,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
@@ -112,6 +129,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			fmt.Fprintf(out, "relaxd: wal: logging to %s (replayed %d unfinished jobs, torn_tail=%v)\n",
 				*walDir, w.ReplayedJobs, w.TornTail)
 		}
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			closeCtx, cancel := context.WithCancel(context.Background())
+			cancel()
+			mgr.Close(closeCtx)
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "relaxd: debug listening on http://%s (pprof at /debug/pprof/, expvar at /debug/vars)\n", dln.Addr())
+		debugSrv = &http.Server{Handler: metricsexport.DebugHandler()}
+		go debugSrv.Serve(dln)
 	}
 
 	srv := &http.Server{Handler: service.NewHandler(mgr)}
@@ -140,6 +172,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil {
 		fmt.Fprintf(out, "relaxd: http shutdown: %v\n", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	return nil
 }

@@ -32,7 +32,10 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var listenRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+var (
+	listenRE      = regexp.MustCompile(`listening on (http://[^ ]+)`)
+	debugListenRE = regexp.MustCompile(`debug listening on (http://[^ ]+)`)
+)
 
 // TestRunServesAndDrains boots the daemon on an ephemeral port, performs a
 // submit/poll round trip over real HTTP, then cancels the context (the
@@ -117,10 +120,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	ctx := context.Background()
 	var out bytes.Buffer
 	cases := map[string][]string{
-		"unknown jobsched": {"-jobsched", "mystery"},
-		"bad flag":         {"-no-such-flag"},
-		"bad addr":         {"-addr", "not-an-address:-1"},
-		"negative workers": {"-workers", "-2"},
+		"unknown jobsched":   {"-jobsched", "mystery"},
+		"bad flag":           {"-no-such-flag"},
+		"bad addr":           {"-addr", "not-an-address:-1"},
+		"negative workers":   {"-workers", "-2"},
+		"unknown log level":  {"-log-level", "loud"},
+		"unknown log format": {"-log-format", "yaml"},
 	}
 	for name, args := range cases {
 		if err := run(ctx, args, &out); err == nil {

@@ -14,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"relaxsched/internal/metricsexport"
 )
 
 // TestServeSmokeBinary is the service smoke CI runs via `make serve-smoke`
@@ -33,7 +35,7 @@ func TestServeSmokeBinary(t *testing.T) {
 		t.Fatalf("building relaxd: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-jobsched", "multiqueue", "-jobsched-k", "4")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-jobsched", "multiqueue", "-jobsched-k", "4", "-debug-addr", "127.0.0.1:0")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -50,17 +52,23 @@ func TestServeSmokeBinary(t *testing.T) {
 		}
 	}()
 
-	// The first stdout line announces the bound address.
+	// Startup prints the bound API address first, then the debug address;
+	// the debug line also says "listening on", so it is matched first.
 	scanner := bufio.NewScanner(stdout)
-	var base string
+	var base, debugBase string
 	for scanner.Scan() {
-		if m := listenRE.FindStringSubmatch(scanner.Text()); m != nil {
+		line := scanner.Text()
+		if m := debugListenRE.FindStringSubmatch(line); m != nil {
+			debugBase = m[1]
+		} else if m := listenRE.FindStringSubmatch(line); m != nil {
 			base = m[1]
+		}
+		if base != "" && debugBase != "" {
 			break
 		}
 	}
-	if base == "" {
-		t.Fatalf("relaxd printed no listen line; stderr: %s", stderr.String())
+	if base == "" || debugBase == "" {
+		t.Fatalf("relaxd printed no listen lines (api=%q debug=%q); stderr: %s", base, debugBase, stderr.String())
 	}
 	// Keep draining stdout so the daemon never blocks on a full pipe.
 	go func() {
@@ -126,7 +134,8 @@ func TestServeSmokeBinary(t *testing.T) {
 	}
 
 	// The second identical MIS submit must hit the graph cache.
-	again := waitDone(submit(misJob))
+	repeatID := submit(misJob)
+	again := waitDone(repeatID)
 	if result, ok := again["result"].(map[string]any); !ok || result["graph_cache_hit"] != true {
 		t.Fatalf("repeat submit missed the graph cache: %v", again)
 	}
@@ -153,6 +162,67 @@ func TestServeSmokeBinary(t *testing.T) {
 	}
 	if metrics.RankError.Count != 3 {
 		t.Fatalf("rank-error dispatch count = %d, want 3", metrics.RankError.Count)
+	}
+
+	// The Prometheus exposition must pass the parser-style lint and carry
+	// the counters the JSON snapshot just reported.
+	presp, err := http.Get(base + "/v1/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("prom scrape: %s", presp.Status)
+	}
+	if err := metricsexport.Lint(promBody); err != nil {
+		t.Fatalf("prom exposition failed lint: %v\n%s", err, promBody)
+	}
+	for _, want := range []string{"relax_cache_hits_total", "relax_jobs_done_total", "relax_queue_latency_seconds_bucket"} {
+		if !bytes.Contains(promBody, []byte(want)) {
+			t.Fatalf("prom exposition missing %s:\n%s", want, promBody)
+		}
+	}
+
+	// The finished job's lifecycle must be reconstructable from its trace.
+	tresp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", base, repeatID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobTrace struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(tresp.Body).Decode(&jobTrace)
+	tresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %s", tresp.Status)
+	}
+	if jobTrace.TraceID == "" || len(jobTrace.Spans) == 0 {
+		t.Fatalf("trace is empty: %+v", jobTrace)
+	}
+	if last := jobTrace.Spans[len(jobTrace.Spans)-1].Name; last != "done" {
+		t.Fatalf("trace of a done job ends with span %q, want done", last)
+	}
+
+	// The separate debug listener serves expvar (and pprof alongside it).
+	dresp, err := http.Get(debugBase + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	err = json.NewDecoder(dresp.Body).Decode(&vars)
+	dresp.Body.Close()
+	if err != nil || dresp.StatusCode != http.StatusOK {
+		t.Fatalf("debug vars: %s %v", dresp.Status, err)
 	}
 
 	// SIGTERM: the daemon must drain and exit 0.

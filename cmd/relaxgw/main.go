@@ -9,7 +9,13 @@
 // gateway-measured *global* rank error: each dispatched job's rank among
 // every job pending anywhere in the cluster, the paper's rank-error
 // statistic lifted from one relaxed queue to the whole fleet — plus a
-// per-backend breakdown.
+// per-backend breakdown. GET /v1/metrics/prom renders the same data as
+// Prometheus text with one backend="<url>" label set per node, and
+// GET /v1/jobs/{id}/trace routes to the owning backend and prepends the
+// gateway's own submit-hop span, so a job's whole life is reconstructable
+// from one poll. The health checker reads the explicit /healthz status
+// body, distinguishing a draining backend (alive, finishing work, out of
+// the submit rotation) from a dead one.
 //
 // SIGINT/SIGTERM drain gracefully: admission stops (503), the drain fans
 // out to every backend, and the HTTP server shuts down after a short
@@ -30,6 +36,8 @@ import (
 	"time"
 
 	"relaxsched/internal/gateway"
+	"relaxsched/internal/metricsexport"
+	"relaxsched/internal/trace"
 )
 
 func main() {
@@ -44,13 +52,20 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("relaxgw", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
-		backends = fs.String("backends", "", "comma-separated relaxd base URLs (required), e.g. http://localhost:8081,http://localhost:8082")
-		replicas = fs.Int("replicas", 128, "virtual ring points per backend")
-		health   = fs.Duration("health-interval", 2*time.Second, "backend health-check period")
-		drain    = fs.Duration("drain-timeout", 30*time.Second, "grace period for the backend drain fan-out on shutdown")
+		addr      = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+		backends  = fs.String("backends", "", "comma-separated relaxd base URLs (required), e.g. http://localhost:8081,http://localhost:8082")
+		replicas  = fs.Int("replicas", 128, "virtual ring points per backend")
+		health    = fs.Duration("health-interval", 2*time.Second, "backend health-check period")
+		drain     = fs.Duration("drain-timeout", 30*time.Second, "grace period for the backend drain fan-out on shutdown")
+		logLevel  = fs.String("log-level", "info", "structured log level: debug, info, warn, error (debug logs every routed job)")
+		logFormat = fs.String("log-format", "text", "structured log format: text, json")
+		debugAddr = fs.String("debug-addr", "", "separate listen address for net/http/pprof and /debug/vars (empty disables; keep it off public interfaces)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := trace.NewLogger(out, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	var urls []string
@@ -66,6 +81,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Backends:       urls,
 		Replicas:       *replicas,
 		HealthInterval: *health,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
@@ -78,6 +94,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "relaxgw: listening on http://%s (backends=%d replicas=%d health-interval=%v)\n",
 		ln.Addr(), len(urls), *replicas, *health)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "relaxgw: debug listening on http://%s (pprof at /debug/pprof/, expvar at /debug/vars)\n", dln.Addr())
+		debugSrv = &http.Server{Handler: metricsexport.DebugHandler()}
+		go debugSrv.Serve(dln)
+	}
 
 	srv := &http.Server{Handler: gw.Handler()}
 	serveErr := make(chan error, 1)
@@ -101,6 +129,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil {
 		fmt.Fprintf(out, "relaxgw: http shutdown: %v\n", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	return nil
 }

@@ -166,10 +166,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	ctx := context.Background()
 	var out bytes.Buffer
 	cases := map[string][]string{
-		"missing backends": {"-addr", "127.0.0.1:0"},
-		"empty backends":   {"-backends", " , "},
-		"bad flag":         {"-no-such-flag"},
-		"bad addr":         {"-addr", "not-an-address:-1", "-backends", "http://localhost:9"},
+		"missing backends":   {"-addr", "127.0.0.1:0"},
+		"empty backends":     {"-backends", " , "},
+		"bad flag":           {"-no-such-flag"},
+		"unknown log level":  {"-log-level", "loud", "-backends", "http://localhost:9"},
+		"unknown log format": {"-log-format", "yaml", "-backends", "http://localhost:9"},
+		"bad addr":           {"-addr", "not-an-address:-1", "-backends", "http://localhost:9"},
 		"too many backends": append([]string{"-backends"}, func() string {
 			urls := make([]string, 300)
 			for i := range urls {

@@ -14,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"relaxsched/internal/metricsexport"
 )
 
 // daemon is one child process under the smoke test: a relaxd backend or
@@ -212,6 +214,59 @@ func TestClusterSmokeBinary(t *testing.T) {
 	}
 	if metrics.RankError.Count != 3 {
 		t.Fatalf("global rank-error count = %d, want 3", metrics.RankError.Count)
+	}
+
+	// The gateway's Prometheus exposition must pass the parser-style lint
+	// and label each backend's series with its URL.
+	presp, err := http.Get(gw.base + "/v1/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway prom scrape: %s", presp.Status)
+	}
+	if err := metricsexport.Lint(promBody); err != nil {
+		t.Fatalf("gateway exposition failed lint: %v\n%s", err, promBody)
+	}
+	for _, u := range []string{b1.base, b2.base} {
+		if !bytes.Contains(promBody, []byte(`backend="`+u+`"`)) {
+			t.Fatalf("gateway exposition missing backend label for %s:\n%s", u, promBody)
+		}
+	}
+
+	// A trace polled through the gateway leads with the gateway's own
+	// submit hop, then the owning backend's lifecycle spans.
+	tresp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", gw.base, misID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobTrace struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(tresp.Body).Decode(&jobTrace)
+	tresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway trace fetch: %s", tresp.Status)
+	}
+	if jobTrace.TraceID == "" || len(jobTrace.Spans) < 2 {
+		t.Fatalf("gateway trace too small: %+v", jobTrace)
+	}
+	if jobTrace.Spans[0].Name != "gateway.submit" {
+		t.Fatalf("first span = %q, want gateway.submit", jobTrace.Spans[0].Name)
+	}
+	if last := jobTrace.Spans[len(jobTrace.Spans)-1].Name; last != "done" {
+		t.Fatalf("trace of a done job ends with span %q, want done", last)
 	}
 
 	// SIGTERM the gateway first (it drains the backends), then the

@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		spread    = fs.Int("priority-spread", 100, "job priorities cycle over [0, spread)")
 		poll      = fs.Duration("poll", 2*time.Millisecond, "status poll interval")
 		verify    = fs.Bool("verify", true, "ask each job to run its exactness oracle")
+		progress  = fs.Duration("progress", 0, "print a rolling progress line at this interval (0 disables), e.g. -progress 2s")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +95,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		PrioritySpread: *spread,
 		PollInterval:   *poll,
 		Verify:         *verify,
+	}
+	if *progress > 0 {
+		cfg.Progress = out
+		cfg.ProgressInterval = *progress
 	}
 	if err := cfg.Graph.Validate(); err != nil {
 		return fmt.Errorf("graph: %w", err)

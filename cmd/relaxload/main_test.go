@@ -53,6 +53,7 @@ func TestRunAgainstInProcessService(t *testing.T) {
 		"-mode", "relaxed",
 		"-n", "400",
 		"-edges", "1600",
+		"-progress", "1ms",
 	}, &out)
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out.String())
@@ -62,5 +63,10 @@ func TestRunAgainstInProcessService(t *testing.T) {
 		if !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)
 		}
+	}
+	// The 1ms -progress interval guarantees at least one rolling line
+	// during even the fastest run.
+	if !strings.Contains(report, "progress: submitted=") {
+		t.Fatalf("report missing the rolling progress line:\n%s", report)
 	}
 }

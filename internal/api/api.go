@@ -30,6 +30,10 @@ type Dispatcher interface {
 	Submit(ctx context.Context, spec JobSpec) (JobStatus, error)
 	// Status reports a job's current state by id.
 	Status(ctx context.Context, id int64) (JobStatus, error)
+	// JobTrace returns a job's recorded lifecycle span timeline. Jobs
+	// evicted from the bounded trace ring report CodeUnknownJob even when
+	// Status still answers.
+	JobTrace(ctx context.Context, id int64) (JobTrace, error)
 	// Workloads lists the runnable workloads in deterministic order.
 	Workloads(ctx context.Context) ([]WorkloadInfo, error)
 	// Metrics returns a consistent snapshot of the service counters.

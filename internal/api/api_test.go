@@ -52,6 +52,18 @@ func (f *fakeDispatcher) Status(_ context.Context, id int64) (JobStatus, error) 
 	return st, nil
 }
 
+func (f *fakeDispatcher) JobTrace(_ context.Context, id int64) (JobTrace, error) {
+	st, ok := f.jobs[id]
+	if !ok {
+		return JobTrace{}, Errorf(CodeUnknownJob, "unknown job id %d", id)
+	}
+	return JobTrace{
+		ID:      st.ID,
+		TraceID: "fake-trace",
+		Spans:   []TraceSpan{{Name: "accepted"}, {Name: "queued", StartNanos: 10}},
+	}, nil
+}
+
 func (f *fakeDispatcher) Workloads(context.Context) ([]WorkloadInfo, error) {
 	return []WorkloadInfo{{Name: "mis", Kind: "static", Brief: "b", Input: "i", WastedWork: "w"}}, nil
 }
@@ -117,12 +129,26 @@ func TestClientHandlerRoundTrip(t *testing.T) {
 		t.Fatalf("metrics = %+v", m)
 	}
 
+	tr, err := c.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != "fake-trace" || len(tr.Spans) != 2 || tr.Spans[1].Name != "queued" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if _, err := c.JobTrace(ctx, 999); !IsCode(err, CodeUnknownJob) {
+		t.Fatalf("trace of unknown job returned %v", err)
+	}
+
 	ok, err := c.Healthy(ctx)
 	if err != nil || !ok {
 		t.Fatalf("healthy = %v, %v", ok, err)
 	}
 	if err := c.Drain(ctx); err != nil {
 		t.Fatal(err)
+	}
+	if status, err := c.Health(ctx); err != nil || status != StatusDraining {
+		t.Fatalf("health after drain = %q, %v, want %q", status, err, StatusDraining)
 	}
 	if ok, err := c.Healthy(ctx); err != nil || ok {
 		t.Fatalf("healthy after drain = %v, %v", ok, err)

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"relaxsched/internal/trace"
 )
 
 // maxErrorBody bounds how much of a non-JSON error body the client keeps
@@ -65,6 +67,16 @@ func (c *Client) Status(ctx context.Context, id int64) (JobStatus, error) {
 	return st, nil
 }
 
+// JobTrace GETs one job's lifecycle span timeline by id. Jobs evicted
+// from the server's bounded trace ring return CodeUnknownJob.
+func (c *Client) JobTrace(ctx context.Context, id int64) (JobTrace, error) {
+	var tr JobTrace
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/jobs/%d/trace", id), nil, http.StatusOK, &tr); err != nil {
+		return JobTrace{}, err
+	}
+	return tr, nil
+}
+
 // Workloads GETs the registry listing.
 func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
 	var infos []WorkloadInfo
@@ -100,21 +112,50 @@ func (c *Client) Drain(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/drain", nil, http.StatusAccepted, nil)
 }
 
-// Healthy GETs /healthz and reports whether the service answered 200.
-// A reachable-but-draining service returns (false, nil); a transport
-// failure returns the error.
-func (c *Client) Healthy(ctx context.Context) (bool, error) {
+// Health GETs /healthz and returns the reported status string: StatusOK
+// for an accepting service, StatusDraining for one alive but refusing new
+// submissions (both HTTP 200). A transport failure returns the error —
+// that, not a status string, is what "dead" looks like.
+func (c *Client) Health(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
-		return false, err
+		return "", err
+	}
+	if id := trace.IDFromContext(ctx); id != "" {
+		req.Header.Set(trace.Header, id)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
+		return "", err
+	}
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	if json.Unmarshal(payload, &body) == nil && body.Status != "" {
+		return body.Status, nil
+	}
+	// Pre-observability servers (and proxies) may answer without the JSON
+	// body; fall back to the status code.
+	if resp.StatusCode == http.StatusOK {
+		return StatusOK, nil
+	}
+	return "", &Error{
+		Code:    codeForStatus(resp.StatusCode),
+		Message: fmt.Sprintf("GET /healthz returned %s: %s", resp.Status, bytes.TrimSpace(payload)),
+	}
+}
+
+// Healthy GETs /healthz and reports whether the service is accepting
+// work: reachable and not draining. A reachable-but-draining service
+// returns (false, nil); a transport failure returns the error.
+func (c *Client) Healthy(ctx context.Context) (bool, error) {
+	status, err := c.Health(ctx)
+	if err != nil {
 		return false, err
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
-	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK, nil
+	return status == StatusOK, nil
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -135,6 +176,11 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, wa
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Forward the context's trace ID so a hop through this client (the
+	// gateway's backend calls, a polling tool) stays on one trace.
+	if id := trace.IDFromContext(ctx); id != "" {
+		req.Header.Set(trace.Header, id)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

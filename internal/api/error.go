@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"relaxsched/internal/trace"
 )
 
 // Error codes carried by the wire error envelope. Every error the HTTP
@@ -50,6 +52,10 @@ type Error struct {
 	// RetryAfterMS, when positive, tells the client how long to back off
 	// before retrying (set on queue_full rejections).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// TraceID is the request's trace ID (the X-Relax-Trace-Id value), so a
+	// failure report alone is enough to grep the fleet's logs. Stamped by
+	// WriteError; empty on errors that never crossed the HTTP surface.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (e *Error) Error() string {
@@ -132,9 +138,18 @@ func WriteJSON(w http.ResponseWriter, code int, v any) {
 
 // WriteError renders err as the wire envelope with its mapped status,
 // coercing non-envelope errors to fallbackCode. 429 responses also carry
-// a standard Retry-After header (whole seconds, rounded up).
-func WriteError(w http.ResponseWriter, err error, fallbackCode string) {
+// a standard Retry-After header (whole seconds, rounded up). When r's
+// context carries a trace ID (r may be nil), the envelope echoes it —
+// WrapError can return a shared *Error, so the stamp goes on a copy.
+func WriteError(w http.ResponseWriter, r *http.Request, err error, fallbackCode string) {
 	e := WrapError(err, fallbackCode)
+	if r != nil {
+		if id := trace.IDFromContext(r.Context()); id != "" && e.TraceID != id {
+			stamped := *e
+			stamped.TraceID = id
+			e = &stamped
+		}
+	}
 	if e.Code == CodeQueueFull && e.RetryAfterMS > 0 {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", (e.RetryAfterMS+999)/1000))
 	}

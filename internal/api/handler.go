@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"relaxsched/internal/trace"
 )
 
 // maxJobSpecBytes bounds a submission body. A valid JobSpec is a few
@@ -14,17 +16,28 @@ const maxJobSpecBytes = 1 << 16
 
 // NewHandler serves any Dispatcher over the versioned HTTP wire API:
 //
-//	POST /v1/jobs         submit a job (JobSpec JSON) -> 202 + JobStatus
-//	GET  /v1/jobs/{id}    poll a job's status/result  -> 200 + JobStatus
-//	GET  /v1/workloads    list the registry           -> 200 + []WorkloadInfo
-//	GET  /v1/metrics      service counters snapshot   -> 200 + Metrics
-//	POST /v1/drain        stop admission              -> 202
-//	GET  /healthz         liveness ("ok"/"draining")
+//	POST /v1/jobs            submit a job (JobSpec JSON) -> 202 + JobStatus
+//	GET  /v1/jobs/{id}       poll a job's status/result  -> 200 + JobStatus
+//	GET  /v1/jobs/{id}/trace job lifecycle span timeline -> 200 + JobTrace
+//	GET  /v1/workloads       list the registry           -> 200 + []WorkloadInfo
+//	GET  /v1/metrics         service counters snapshot   -> 200 + Metrics
+//	POST /v1/drain           stop admission              -> 202
+//	GET  /healthz            liveness ("ok"/"draining")
 //
 // The pre-versioning unversioned paths (/jobs, /jobs/{id}, /workloads,
 // /metrics) were kept as deprecated aliases for one release after the /v1
 // cutover and are gone; they now return 404. Only /healthz stays
 // unversioned.
+//
+// Every request runs under a trace ID: taken from the X-Relax-Trace-Id
+// header when the caller sent one, minted here otherwise, echoed in the
+// response's same header, carried in the request context (so dispatchers
+// and their log lines see it), and stamped into every error envelope.
+//
+// /healthz distinguishes draining from dead: a draining service still
+// answers 200 with body {"status":"draining"} — it is alive and finishing
+// accepted work, just refusing new submissions. Probes that should stop
+// routing to it branch on the body, not the status code.
 //
 // Every non-2xx response body is the Error envelope: 400 invalid_request,
 // 404 unknown_job, 413 payload_too_large, 429 queue_full (with
@@ -41,36 +54,47 @@ func NewHandler(d Dispatcher) http.Handler {
 		if err := dec.Decode(&spec); err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				WriteError(w, Errorf(CodePayloadTooLarge, "job spec exceeds %d bytes", tooBig.Limit), CodePayloadTooLarge)
+				WriteError(w, r, Errorf(CodePayloadTooLarge, "job spec exceeds %d bytes", tooBig.Limit), CodePayloadTooLarge)
 				return
 			}
-			WriteError(w, Errorf(CodeInvalidRequest, "decoding job spec: %v", err), CodeInvalidRequest)
+			WriteError(w, r, Errorf(CodeInvalidRequest, "decoding job spec: %v", err), CodeInvalidRequest)
 			return
 		}
 		st, err := d.Submit(r.Context(), spec)
 		if err != nil {
-			WriteError(w, err, CodeInvalidRequest)
+			WriteError(w, r, err, CodeInvalidRequest)
 			return
 		}
 		WriteJSON(w, http.StatusAccepted, st)
 	})
 	handle("GET", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
-		if err != nil {
-			WriteError(w, Errorf(CodeInvalidRequest, "invalid job id %q", r.PathValue("id")), CodeInvalidRequest)
+		id, ok := jobID(w, r)
+		if !ok {
 			return
 		}
 		st, err := d.Status(r.Context(), id)
 		if err != nil {
-			WriteError(w, err, CodeInternal)
+			WriteError(w, r, err, CodeInternal)
 			return
 		}
 		WriteJSON(w, http.StatusOK, st)
 	})
+	handle("GET", "/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := jobID(w, r)
+		if !ok {
+			return
+		}
+		tr, err := d.JobTrace(r.Context(), id)
+		if err != nil {
+			WriteError(w, r, err, CodeInternal)
+			return
+		}
+		WriteJSON(w, http.StatusOK, tr)
+	})
 	handle("GET", "/workloads", func(w http.ResponseWriter, r *http.Request) {
 		infos, err := d.Workloads(r.Context())
 		if err != nil {
-			WriteError(w, err, CodeInternal)
+			WriteError(w, r, err, CodeInternal)
 			return
 		}
 		WriteJSON(w, http.StatusOK, infos)
@@ -78,14 +102,14 @@ func NewHandler(d Dispatcher) http.Handler {
 	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		m, err := d.Metrics(r.Context())
 		if err != nil {
-			WriteError(w, err, CodeInternal)
+			WriteError(w, r, err, CodeInternal)
 			return
 		}
 		WriteJSON(w, http.StatusOK, m)
 	})
 	handle("POST", "/drain", func(w http.ResponseWriter, r *http.Request) {
 		if err := d.Drain(r.Context()); err != nil {
-			WriteError(w, err, CodeInternal)
+			WriteError(w, r, err, CodeInternal)
 			return
 		}
 		WriteJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
@@ -94,12 +118,49 @@ func NewHandler(d Dispatcher) http.Handler {
 		m, err := d.Metrics(r.Context())
 		switch {
 		case err != nil:
-			WriteError(w, err, CodeInternal)
+			WriteError(w, r, err, CodeInternal)
 		case m.Draining:
-			WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			WriteJSON(w, http.StatusOK, map[string]string{"status": StatusDraining})
 		default:
-			WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			WriteJSON(w, http.StatusOK, map[string]string{"status": StatusOK})
 		}
 	})
-	return mux
+	return WithTrace(mux)
+}
+
+// Health status strings served by /healthz. A gateway's /healthz uses the
+// same vocabulary; see its Handler for the no-backends 503 case.
+const (
+	StatusOK       = "ok"
+	StatusDraining = "draining"
+)
+
+// jobID parses the {id} path value, writing the invalid_request envelope
+// itself when the value is not an integer.
+func jobID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		WriteError(w, r, Errorf(CodeInvalidRequest, "invalid job id %q", r.PathValue("id")), CodeInvalidRequest)
+		return 0, false
+	}
+	return id, true
+}
+
+// WithTrace wraps h so every request runs under a trace ID: the inbound
+// X-Relax-Trace-Id header (sanitized) or a freshly minted ID, placed in
+// the request context and echoed on the response header before h runs.
+// NewHandler applies it already; wrapper muxes that add sibling routes
+// beside a NewHandler (the prom exposition, a gateway's overrides) apply
+// it themselves so those routes trace identically.
+func WithTrace(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if trace.IDFromContext(r.Context()) != "" {
+			// Already traced by an enclosing WithTrace; don't re-mint.
+			h.ServeHTTP(w, r)
+			return
+		}
+		id := trace.SanitizeID(r.Header.Get(trace.Header))
+		w.Header().Set(trace.Header, id)
+		h.ServeHTTP(w, r.WithContext(trace.ContextWithID(r.Context(), id)))
+	})
 }

@@ -88,6 +88,13 @@ type JobResult struct {
 	ExecNanos int64 `json:"exec_ns"`
 	// GraphCacheHit reports whether the input graph came from the cache.
 	GraphCacheHit bool `json:"graph_cache_hit"`
+	// Steals, GlobalFallbacks and EmptyPolls are the concurrent scheduler's
+	// contention accounting for this job (zero outside mode "concurrent"):
+	// pops served from another worker's lane, pops that fell through to a
+	// global scan, and polls that found every probed lane empty.
+	Steals          int64 `json:"steals,omitempty"`
+	GlobalFallbacks int64 `json:"global_fallbacks,omitempty"`
+	EmptyPolls      int64 `json:"empty_polls,omitempty"`
 }
 
 // JobStatus is the externally visible state of a job, returned by the
@@ -139,6 +146,55 @@ type LatencySummary struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
+// LatencyHistogram is a latency distribution with logarithmic
+// (power-of-two) buckets, the wire form behind the Prometheus histogram
+// exposition. Unlike LatencySummary's ring-windowed percentiles it is
+// exact and unwindowed, so two scrapes subtract into the distribution of
+// any interval, and cluster aggregation is a lossless bucket-wise sum.
+type LatencyHistogram struct {
+	// BoundsMs are the inclusive upper bucket bounds in milliseconds,
+	// strictly increasing. Every node of one release emits the same
+	// bounds, which is what lets the gateway merge bucket-wise.
+	BoundsMs []float64 `json:"bounds_ms"`
+	// Counts has len(BoundsMs)+1 entries: Counts[i] is the number of
+	// observations in (BoundsMs[i-1], BoundsMs[i]]; the final entry is the
+	// +Inf overflow bucket.
+	Counts []int64 `json:"counts"`
+	// SumMs is the sum of all observations in milliseconds.
+	SumMs float64 `json:"sum_ms"`
+}
+
+// TraceSpan is one phase of a job's recorded lifecycle. Offsets are
+// nanoseconds since the owning trace's StartedAt, measured on the
+// recording process's monotonic clock. EndNanos is zero while the phase
+// is still running; terminal marker spans have EndNanos == StartNanos. In
+// a gateway-composed trace the gateway's own hop span is rebased against
+// the backend's clock and may start at a negative offset.
+type TraceSpan struct {
+	Name       string `json:"name"`
+	StartNanos int64  `json:"start_ns"`
+	EndNanos   int64  `json:"end_ns,omitempty"`
+	// Detail carries phase-specific context: the rank error observed at
+	// dispatch, the failure message, the backend a gateway routed to.
+	Detail string `json:"detail,omitempty"`
+}
+
+// JobTrace is the GET /v1/jobs/{id}/trace payload: one job's span
+// timeline (accepted → wal-synced → queued → dispatched →
+// graph-build/cache-hit → executing → terminal). Through a gateway the
+// spans additionally start with the gateway's own submit hop, and the
+// TraceID is the one minted at first touch and propagated via
+// X-Relax-Trace-Id — the same ID on the job's log lines fleet-wide.
+// Traces live in a bounded ring; old jobs eventually answer 404.
+type JobTrace struct {
+	ID      int64  `json:"id"`
+	TraceID string `json:"trace_id"`
+	// StartedAt anchors offset zero in wall-clock time (the recording
+	// node's acceptance time).
+	StartedAt time.Time   `json:"started_at"`
+	Spans     []TraceSpan `json:"spans"`
+}
+
 // RankErrorStats summarizes observed per-job scheduling rank error — the
 // number of pending jobs that were strictly better (lower priority value)
 // than the one the queue dispensed, the paper's rank error measured at job
@@ -186,6 +242,12 @@ type CostTotals struct {
 	// iterations, stale pops, re-evaluations — see the registry's
 	// WastedWork labels).
 	Wasted int64 `json:"wasted"`
+	// Steals, GlobalFallbacks and EmptyPolls sum the concurrent scheduler's
+	// contention accounting (multiqueue.Stats) over every finished
+	// concurrent-mode job.
+	Steals          int64 `json:"steals"`
+	GlobalFallbacks int64 `json:"global_fallbacks"`
+	EmptyPolls      int64 `json:"empty_polls"`
 }
 
 // ControllerStats reports the adaptive relaxation controller's state
@@ -272,6 +334,13 @@ type Metrics struct {
 	// execution itself (excluding queueing and graph build).
 	QueueLatency LatencySummary `json:"queue_latency"`
 	ExecLatency  LatencySummary `json:"exec_latency"`
+	// QueueLatencyHist and ExecLatencyHist are the same two distributions
+	// as unwindowed log-bucketed histograms — exact counts over the service
+	// lifetime, from which a percentile is derivable at any scrape window
+	// (unlike the ring-windowed percentiles above). Present since the
+	// observability release; older nodes omit them.
+	QueueLatencyHist *LatencyHistogram `json:"queue_latency_hist,omitempty"`
+	ExecLatencyHist  *LatencyHistogram `json:"exec_latency_hist,omitempty"`
 	// Controller is the adaptive relaxation controller's state, present
 	// only under -jobsched auto (cluster: aggregated over the backends
 	// that run one).

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -24,8 +25,10 @@ import (
 	"time"
 
 	"relaxsched/internal/api"
+	"relaxsched/internal/metricsexport"
 	"relaxsched/internal/ranktrack"
 	"relaxsched/internal/sched"
+	"relaxsched/internal/trace"
 )
 
 const (
@@ -37,6 +40,11 @@ const (
 
 	defaultReplicas       = 128
 	defaultHealthInterval = 2 * time.Second
+
+	// hopCapacity bounds the ring of recorded submit hops (the gateway's
+	// own span on each routed job's trace); oldest first, like the
+	// backends' trace rings.
+	hopCapacity = 4096
 )
 
 // Options configures a Gateway.
@@ -53,12 +61,25 @@ type Options struct {
 	// HTTPClient overrides the backend clients' *http.Client (default:
 	// the api package's shared timed client).
 	HTTPClient *http.Client
+	// Logger receives the gateway's structured log lines (default:
+	// discard). Backend health transitions and routed submissions are
+	// logged here.
+	Logger *slog.Logger
 }
 
 type backend struct {
-	url     string
-	client  *api.Client
-	healthy atomic.Bool
+	url      string
+	client   *api.Client
+	healthy  atomic.Bool
+	draining atomic.Bool
+}
+
+// hopRecord is the gateway's own span on one routed job: when the submit
+// hop started, how long the backend round trip took, and where it landed.
+type hopRecord struct {
+	start    time.Time
+	durNanos int64
+	backend  string
 }
 
 // Gateway fronts a fleet of relaxd backends behind the single-node wire
@@ -67,6 +88,7 @@ type Gateway struct {
 	backends []*backend
 	ring     *ring
 	start    time.Time
+	logger   *slog.Logger
 
 	stopHealth chan struct{}
 	healthDone chan struct{}
@@ -77,6 +99,8 @@ type Gateway struct {
 	tracker  ranktrack.Tracker
 	rank     ranktrack.Stats
 	draining bool
+	hops     map[int64]hopRecord // global job id -> gateway submit hop
+	hopOrder []int64             // FIFO eviction order for hops
 }
 
 var _ api.Dispatcher = (*Gateway)(nil)
@@ -101,14 +125,21 @@ func New(opts Options) (*Gateway, error) {
 		interval = defaultHealthInterval
 	}
 
+	logger := opts.Logger
+	if logger == nil {
+		logger = trace.DiscardLogger()
+	}
+
 	urls := make([]string, len(opts.Backends))
 	seen := make(map[string]bool, len(opts.Backends))
 	g := &Gateway{
 		backends:   make([]*backend, len(opts.Backends)),
 		start:      time.Now(),
+		logger:     logger,
 		stopHealth: make(chan struct{}),
 		healthDone: make(chan struct{}),
 		pending:    make(map[int64]sched.Item),
+		hops:       make(map[int64]hopRecord),
 	}
 	for i, raw := range opts.Backends {
 		u := strings.TrimRight(strings.TrimSpace(raw), "/")
@@ -153,9 +184,11 @@ func (g *Gateway) healthLoop(interval time.Duration) {
 	}
 }
 
-// checkHealth probes every backend concurrently. A 200 /healthz flips a
-// backend (back) to healthy; anything else — transport failure or a
-// draining 503 — takes it out of the submit rotation.
+// checkHealth probes every backend concurrently. A "ok" /healthz flips a
+// backend (back) to healthy; a "draining" answer takes it out of the
+// submit rotation but marks it alive (status polls and traces still
+// route to it), and a transport failure marks it down. Transitions are
+// logged so an operator can tell a drain from an outage.
 func (g *Gateway) checkHealth(timeout time.Duration) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -164,8 +197,22 @@ func (g *Gateway) checkHealth(timeout time.Duration) {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
-			ok, err := b.client.Healthy(ctx)
-			b.healthy.Store(ok && err == nil)
+			status, err := b.client.Health(ctx)
+			accepting := err == nil && status == api.StatusOK
+			draining := err == nil && status == api.StatusDraining
+			wasDraining := b.draining.Swap(draining)
+			wasAccepting := b.healthy.Swap(accepting)
+			if wasAccepting == accepting && wasDraining == draining {
+				return
+			}
+			switch {
+			case accepting:
+				g.logger.Info("backend healthy", "backend", b.url)
+			case draining:
+				g.logger.Info("backend draining", "backend", b.url)
+			default:
+				g.logger.Warn("backend down", "backend", b.url, "status", status, "err", err)
+			}
 		}(b)
 	}
 	wg.Wait()
@@ -192,6 +239,7 @@ func (g *Gateway) Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, 
 		if !b.healthy.Load() {
 			continue
 		}
+		hopStart := time.Now()
 		st, err := b.client.Submit(ctx, spec)
 		if err != nil {
 			var e *api.Error
@@ -199,12 +247,41 @@ func (g *Gateway) Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, 
 				return api.JobStatus{}, e
 			}
 			b.healthy.Store(false)
+			g.logger.Warn("backend down", "backend", b.url, "err", err)
 			continue
 		}
 		st.ID = g.admit(st.ID, idx, spec.Priority)
+		g.recordHop(st.ID, hopRecord{
+			start:    hopStart,
+			durNanos: time.Since(hopStart).Nanoseconds(),
+			backend:  b.url,
+		})
+		g.logger.Debug("job routed",
+			"job_id", st.ID,
+			"trace_id", trace.IDFromContext(ctx),
+			"backend", b.url,
+			"workload", spec.Workload)
 		return st, nil
 	}
 	return api.JobStatus{}, &api.Error{Code: api.CodeBackendDown, Message: "gateway: no healthy backend"}
+}
+
+// recordHop remembers the gateway's submit hop for a routed job so a
+// later trace poll can prepend it to the backend's span timeline. The
+// ring is bounded at hopCapacity; oldest hops are evicted first, after
+// which the job's trace simply lacks the gateway span.
+func (g *Gateway) recordHop(globalID int64, h hopRecord) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, exists := g.hops[globalID]; !exists {
+		if len(g.hopOrder) >= hopCapacity {
+			oldest := g.hopOrder[0]
+			g.hopOrder = g.hopOrder[1:]
+			delete(g.hops, oldest)
+		}
+		g.hopOrder = append(g.hopOrder, globalID)
+	}
+	g.hops[globalID] = h
 }
 
 // admit records a successfully placed job in the cluster-wide rank
@@ -260,6 +337,44 @@ func (g *Gateway) Status(ctx context.Context, id int64) (api.JobStatus, error) {
 		g.observeDeparture(id)
 	}
 	return st, nil
+}
+
+// JobTrace polls the owning backend for the job's span timeline and
+// prepends the gateway's own submit hop as a "gateway.submit" span. Hop
+// offsets are rebased against the backend's timeline origin, so the
+// gateway span usually starts at a negative offset — the hop began
+// before the backend accepted the job. Like Status, the owner is always
+// tried even when marked unhealthy, so traces stay fetchable during a
+// drain.
+func (g *Gateway) JobTrace(ctx context.Context, id int64) (api.JobTrace, error) {
+	if id < 0 || int(id%idStride) >= len(g.backends) {
+		return api.JobTrace{}, &api.Error{Code: api.CodeUnknownJob, Message: fmt.Sprintf("unknown job %d", id)}
+	}
+	b := g.backends[id%idStride]
+	tr, err := b.client.JobTrace(ctx, id/idStride)
+	if err != nil {
+		var e *api.Error
+		if errors.As(err, &e) {
+			return api.JobTrace{}, e
+		}
+		b.healthy.Store(false)
+		return api.JobTrace{}, &api.Error{Code: api.CodeBackendDown, Message: fmt.Sprintf("gateway: backend %s unreachable: %v", b.url, err)}
+	}
+	tr.ID = id
+	g.mu.Lock()
+	hop, ok := g.hops[id]
+	g.mu.Unlock()
+	if ok {
+		off := hop.start.Sub(tr.StartedAt).Nanoseconds()
+		span := api.TraceSpan{
+			Name:       "gateway.submit",
+			StartNanos: off,
+			EndNanos:   off + hop.durNanos,
+			Detail:     "backend=" + hop.backend,
+		}
+		tr.Spans = append([]api.TraceSpan{span}, tr.Spans...)
+	}
+	return tr, nil
 }
 
 // Workloads lists the registry from the first reachable backend — every
@@ -348,8 +463,13 @@ func (g *Gateway) ClusterMetrics(ctx context.Context) api.ClusterMetrics {
 		cm.Cost.Pops += m.Cost.Pops
 		cm.Cost.StalePops += m.Cost.StalePops
 		cm.Cost.Wasted += m.Cost.Wasted
+		cm.Cost.Steals += m.Cost.Steals
+		cm.Cost.GlobalFallbacks += m.Cost.GlobalFallbacks
+		cm.Cost.EmptyPolls += m.Cost.EmptyPolls
 		mergeLatency(&cm.QueueLatency, m.QueueLatency)
 		mergeLatency(&cm.ExecLatency, m.ExecLatency)
+		cm.QueueLatencyHist = metricsexport.MergeHistograms(cm.QueueLatencyHist, m.QueueLatencyHist)
+		cm.ExecLatencyHist = metricsexport.MergeHistograms(cm.ExecLatencyHist, m.ExecLatencyHist)
 		if m.Controller != nil {
 			mergeController(&cm.Controller, m.Controller)
 			controllers++
@@ -509,26 +629,33 @@ func (g *Gateway) HealthyBackends() int {
 
 // Handler serves the gateway over the same versioned wire API as a
 // single node (api.NewHandler), with the metrics and health routes
-// overridden: GET /v1/metrics serves the full ClusterMetrics payload, and
-// /healthz answers 200 only while the gateway is accepting jobs and at
-// least one backend is reachable. (The deprecated unversioned /metrics
-// alias is gone, like the node-level aliases.)
+// overridden: GET /v1/metrics serves the full ClusterMetrics payload,
+// GET /v1/metrics/prom renders it as Prometheus text with per-backend
+// labels, and /healthz answers 200 with status "ok" while accepting,
+// 200 with status "draining" during a drain (alive, finishing work),
+// and 503 only when no backend is reachable. (The deprecated
+// unversioned /metrics alias is gone, like the node-level aliases.)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	metrics := func(w http.ResponseWriter, r *http.Request) {
 		api.WriteJSON(w, http.StatusOK, g.ClusterMetrics(r.Context()))
 	}
 	mux.HandleFunc("GET /v1/metrics", metrics)
+	mux.HandleFunc("GET /v1/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		cm := g.ClusterMetrics(r.Context())
+		w.Header().Set("Content-Type", metricsexport.ContentType)
+		w.Write(metricsexport.RenderCluster(&cm))
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		g.mu.Lock()
 		draining := g.draining
 		g.mu.Unlock()
 		healthy := g.HealthyBackends()
-		body := map[string]any{"status": "ok", "healthy_backends": healthy}
+		body := map[string]any{"status": api.StatusOK, "healthy_backends": healthy}
 		switch {
 		case draining:
-			body["status"] = "draining"
-			api.WriteJSON(w, http.StatusServiceUnavailable, body)
+			body["status"] = api.StatusDraining
+			api.WriteJSON(w, http.StatusOK, body)
 		case healthy == 0:
 			body["status"] = "no healthy backends"
 			api.WriteJSON(w, http.StatusServiceUnavailable, body)
@@ -537,5 +664,5 @@ func (g *Gateway) Handler() http.Handler {
 		}
 	})
 	mux.Handle("/", api.NewHandler(g))
-	return mux
+	return api.WithTrace(mux)
 }

@@ -3,6 +3,7 @@ package gateway
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,7 +11,9 @@ import (
 	"time"
 
 	"relaxsched/internal/api"
+	"relaxsched/internal/metricsexport"
 	"relaxsched/internal/service"
+	"relaxsched/internal/trace"
 )
 
 // testBackend is one in-process relaxd: a real service.Manager behind a
@@ -408,5 +411,159 @@ func TestGatewayWALAggregation(t *testing.T) {
 	g2 := newTestGateway(t, cannedMetricsBackend(t, ephemeral))
 	if cm := g2.ClusterMetrics(context.Background()); cm.WAL != nil {
 		t.Fatalf("log-less fleet grew a WAL section: %+v", cm.WAL)
+	}
+}
+
+// TestGatewayJobTrace: a trace fetched through the gateway routes to the
+// owning backend, comes back under the job's global id and the caller's
+// trace id, and is prefixed with the gateway's own submit hop span.
+func TestGatewayJobTrace(t *testing.T) {
+	b := startBackend(t)
+	g := newTestGateway(t, b.srv.URL)
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+	cli := api.NewClient(srv.URL)
+
+	ctx := trace.ContextWithID(context.Background(), "trace-gw-e2e")
+	st, err := cli.Submit(ctx, misSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, g, st.ID)
+
+	tr, err := cli.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != st.ID {
+		t.Fatalf("trace reports job %d, want global id %d", tr.ID, st.ID)
+	}
+	if tr.TraceID != "trace-gw-e2e" {
+		t.Fatalf("trace carries trace_id %q, want trace-gw-e2e", tr.TraceID)
+	}
+	if len(tr.Spans) == 0 || tr.Spans[0].Name != "gateway.submit" {
+		t.Fatalf("first span = %+v, want gateway.submit", tr.Spans)
+	}
+	hop := tr.Spans[0]
+	if hop.StartNanos > 0 {
+		t.Fatalf("gateway hop starts at +%dns — the hop begins before the backend accepts", hop.StartNanos)
+	}
+	if hop.EndNanos <= hop.StartNanos {
+		t.Fatalf("gateway hop has non-positive duration: %+v", hop)
+	}
+	if !strings.Contains(hop.Detail, b.srv.URL) {
+		t.Fatalf("hop detail %q does not name the backend %s", hop.Detail, b.srv.URL)
+	}
+	want := []string{"accepted", "queued", "dispatched", "executing", "done"}
+	i := 0
+	for _, s := range tr.Spans[1:] {
+		if i < len(want) && s.Name == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("backend spans %v missing lifecycle subsequence %v (matched %d)", tr.Spans, want, i)
+	}
+
+	// Unknown global ids answer unknown_job without touching a backend.
+	if _, err := g.JobTrace(ctx, int64(len(g.backends))+idStride*999999); !api.IsCode(err, api.CodeUnknownJob) {
+		t.Fatalf("unknown trace: %v", err)
+	}
+}
+
+// TestGatewayHealthDrainingVsDead: the health checker separates a
+// draining backend (alive, finishing work, out of the submit rotation)
+// from a dead one, using the explicit healthz status body instead of
+// inferring from a 503.
+func TestGatewayHealthDrainingVsDead(t *testing.T) {
+	b := startBackend(t)
+	dead := deadBackendURL(t)
+	g := newTestGateway(t, b.srv.URL, dead)
+	ctx := context.Background()
+
+	if err := api.NewClient(b.srv.URL).Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g.checkHealth(5 * time.Second)
+
+	if g.backends[0].healthy.Load() {
+		t.Fatal("draining backend still in the submit rotation")
+	}
+	if !g.backends[0].draining.Load() {
+		t.Fatal("draining backend not recognized as draining")
+	}
+	if g.backends[1].healthy.Load() || g.backends[1].draining.Load() {
+		t.Fatal("dead backend classified as alive")
+	}
+}
+
+// TestGatewayHealthzDraining: a draining gateway reports it explicitly
+// with a 200 — it is alive and finishing work — while a gateway with no
+// reachable backend stays 503 (covered by TestGatewayHandler502).
+func TestGatewayHealthzDraining(t *testing.T) {
+	b := startBackend(t)
+	g := newTestGateway(t, b.srv.URL)
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %s, want 200", resp.Status)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != api.StatusDraining {
+		t.Fatalf("healthz status = %v, want %q", body["status"], api.StatusDraining)
+	}
+}
+
+// TestGatewayPromScrape: the gateway's Prometheus exposition passes the
+// parser-style lint and labels each backend's series with its URL, so a
+// two-backend fleet scrapes as two distinct label sets.
+func TestGatewayPromScrape(t *testing.T) {
+	b1, b2 := startBackend(t), startBackend(t)
+	g := newTestGateway(t, b1.srv.URL, b2.srv.URL)
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+
+	// Give the fleet some numbers to render.
+	st, err := g.Submit(context.Background(), misSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, g, st.ID)
+
+	resp, err := http.Get(srv.URL + "/v1/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prom scrape: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metricsexport.ContentType {
+		t.Fatalf("content type %q, want %q", ct, metricsexport.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metricsexport.Lint(body); err != nil {
+		t.Fatalf("gateway exposition failed lint: %v\n%s", err, body)
+	}
+	for _, u := range []string{b1.srv.URL, b2.srv.URL} {
+		want := `backend="` + u + `"`
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("exposition missing label %s:\n%s", want, body)
+		}
 	}
 }

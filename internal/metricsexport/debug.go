@@ -1,0 +1,23 @@
+package metricsexport
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler is the -debug-addr surface: net/http/pprof under
+// /debug/pprof/ and the expvar dump at /debug/vars. The daemons serve it
+// on its own listener, never on the public API port — profiles expose
+// memory contents and a profile run costs real CPU, so the listener
+// should bind a loopback or otherwise firewalled address.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,143 @@
+package metricsexport
+
+import (
+	"math"
+	"sync"
+
+	"relaxsched/internal/api"
+)
+
+// Latency histogram buckets: power-of-two (HDR-style) upper bounds in
+// seconds, from 0.25 ms doubling up to ~262 s, plus the implicit +Inf
+// overflow bucket. Logarithmic buckets hold the relative quantile error
+// to a factor of two at every scale, which is the right trade for a
+// distribution spanning sub-millisecond cache hits and multi-minute
+// million-vertex builds. Every node of a release shares these bounds, so
+// the gateway's cluster aggregation is a lossless bucket-wise sum.
+const (
+	minBucketSec = 0.00025
+	numBounds    = 21
+)
+
+// bucketBoundsMs are the wire-form (millisecond) bounds, built once.
+var bucketBoundsMs = func() []float64 {
+	bounds := make([]float64, numBounds)
+	b := minBucketSec
+	for i := range bounds {
+		bounds[i] = b * 1000
+		b *= 2
+	}
+	return bounds
+}()
+
+// Histogram is a concurrency-safe log-bucketed latency histogram, the
+// live accumulator behind the api.LatencyHistogram wire type. The zero
+// value is not usable; construct with NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [numBounds + 1]int64
+	sumSec float64
+}
+
+// NewHistogram returns an empty histogram on the package's shared
+// power-of-two bounds.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Observe records one latency in seconds. Negative observations clamp to
+// zero (they land in the first bucket) rather than corrupting the sum.
+func (h *Histogram) Observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		seconds = 0
+	}
+	idx := 0
+	for b := minBucketSec; idx < numBounds && seconds > b; idx++ {
+		b *= 2
+	}
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sumSec += seconds
+	h.mu.Unlock()
+}
+
+// Snapshot returns the histogram's current state in wire form.
+func (h *Histogram) Snapshot() *api.LatencyHistogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return &api.LatencyHistogram{
+		BoundsMs: bucketBoundsMs,
+		Counts:   append([]int64(nil), h.counts[:]...),
+		SumMs:    h.sumSec * 1000,
+	}
+}
+
+// HistogramCount returns the total number of observations in a wire
+// histogram (nil counts as empty).
+func HistogramCount(h *api.LatencyHistogram) int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// HistogramQuantile returns the q-quantile (0 < q ≤ 1) of a wire
+// histogram in milliseconds, resolved to the upper bound of the bucket
+// the quantile falls in — the same "within one bucket" resolution the
+// exposition gives any Prometheus consumer. An empty or nil histogram
+// returns 0; a quantile landing in the +Inf overflow bucket returns +Inf.
+func HistogramQuantile(h *api.LatencyHistogram, q float64) float64 {
+	total := HistogramCount(h)
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.BoundsMs) {
+				return h.BoundsMs[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// MergeHistograms adds src into dst bucket-wise and returns dst. A nil
+// dst starts from a copy of src; a nil src is a no-op. Histograms with
+// different bounds (a version-skewed backend) cannot be merged — src is
+// dropped rather than summed into the wrong buckets.
+func MergeHistograms(dst, src *api.LatencyHistogram) *api.LatencyHistogram {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		return &api.LatencyHistogram{
+			BoundsMs: append([]float64(nil), src.BoundsMs...),
+			Counts:   append([]int64(nil), src.Counts...),
+			SumMs:    src.SumMs,
+		}
+	}
+	if len(dst.BoundsMs) != len(src.BoundsMs) || len(dst.Counts) != len(src.Counts) {
+		return dst
+	}
+	for i := range dst.BoundsMs {
+		if dst.BoundsMs[i] != src.BoundsMs[i] {
+			return dst
+		}
+	}
+	for i, c := range src.Counts {
+		dst.Counts[i] += c
+	}
+	dst.SumMs += src.SumMs
+	return dst
+}

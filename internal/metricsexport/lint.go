@@ -1,0 +1,155 @@
+package metricsexport
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint semantics, shared by the exposition table test and the CI smoke
+// scrape: a scrape body passes when every family is declared with HELP
+// and TYPE before its samples, names match the conservative
+// ^[a-z_][a-z0-9_]*$ charset, every sample value parses, and every
+// histogram series has strictly increasing le bounds, cumulative
+// (non-decreasing) bucket values, a final le="+Inf" bucket, and a _count
+// equal to it.
+
+var (
+	lintNameRE   = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+	lintSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (\S+)$`)
+	lintLeRE     = regexp.MustCompile(`(?:^|,)le="([^"]*)"`)
+	lintTypes    = map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+)
+
+// bucketSeries accumulates one histogram series' buckets in emission
+// order for the end-of-scrape cumulativity checks.
+type bucketSeries struct {
+	les    []float64
+	counts []float64
+}
+
+// Lint validates a Prometheus text-exposition body and returns the first
+// violation found, or nil for a clean scrape.
+func Lint(body []byte) error {
+	help := map[string]bool{}
+	typ := map[string]string{}
+	sampled := map[string]bool{}
+	buckets := map[string]*bucketSeries{}
+	counts := map[string]float64{}
+
+	for i, line := range strings.Split(string(body), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !lintNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: metric name %q outside ^[a-z_][a-z0-9_]*$", lineNo, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					return fmt.Errorf("line %d: empty HELP for %s", lineNo, name)
+				}
+				if help[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				help[name] = true
+			case "TYPE":
+				if len(fields) < 4 || !lintTypes[fields[3]] {
+					return fmt.Errorf("line %d: invalid TYPE for %s", lineNo, line)
+				}
+				if _, dup := typ[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its first sample", lineNo, name)
+				}
+				typ[name] = fields[3]
+			}
+			continue
+		}
+
+		m := lintSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: unparsable sample line %q", lineNo, line)
+		}
+		name, labels, valueStr := m[1], m[2], m[3]
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparsable value %q: %v", lineNo, valueStr, err)
+		}
+		family, suffix := familyOf(name, typ)
+		if !lintNameRE.MatchString(family) {
+			return fmt.Errorf("line %d: metric name %q outside ^[a-z_][a-z0-9_]*$", lineNo, family)
+		}
+		if !help[family] || typ[family] == "" {
+			return fmt.Errorf("line %d: sample %s without prior HELP+TYPE for family %s", lineNo, name, family)
+		}
+		sampled[family] = true
+
+		if typ[family] == "histogram" {
+			key := family + "|" + lintLeRE.ReplaceAllString(labels, "")
+			switch suffix {
+			case "_bucket":
+				le := lintLeRE.FindStringSubmatch(labels)
+				if le == nil {
+					return fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, name)
+				}
+				bound, err := strconv.ParseFloat(le[1], 64)
+				if err != nil {
+					return fmt.Errorf("line %d: unparsable le %q: %v", lineNo, le[1], err)
+				}
+				s := buckets[key]
+				if s == nil {
+					s = &bucketSeries{}
+					buckets[key] = s
+				}
+				s.les = append(s.les, bound)
+				s.counts = append(s.counts, value)
+			case "_count":
+				counts[key] = value
+			}
+		}
+	}
+
+	for key, s := range buckets {
+		for i := 1; i < len(s.les); i++ {
+			if s.les[i] <= s.les[i-1] {
+				return fmt.Errorf("histogram %s: le bounds not increasing (%v after %v)", key, s.les[i], s.les[i-1])
+			}
+			if s.counts[i] < s.counts[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative (%v after %v at le=%v)", key, s.counts[i], s.counts[i-1], s.les[i])
+			}
+		}
+		if len(s.les) == 0 || !math.IsInf(s.les[len(s.les)-1], 1) {
+			return fmt.Errorf("histogram %s: bucket series does not end in le=\"+Inf\"", key)
+		}
+		if c, ok := counts[key]; ok && c != s.counts[len(s.counts)-1] {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", key, c, s.counts[len(s.counts)-1])
+		}
+	}
+	return nil
+}
+
+// familyOf strips the conventional _bucket/_sum/_count suffix off a
+// histogram or summary series name to recover its declared family.
+func familyOf(name string, typ map[string]string) (family, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t := typ[base]; t == "histogram" || t == "summary" {
+			return base, suf
+		}
+	}
+	return name, ""
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"relaxsched/internal/api"
+	"relaxsched/internal/trace"
 )
 
 // submitRetryAfterMS is the backoff hint attached to queue-full
@@ -24,10 +25,11 @@ type Local struct {
 
 var _ api.Dispatcher = Local{}
 
-// Submit enqueues a job. Admission rejections become envelope errors:
-// queue_full (with a retry hint) and draining.
-func (l Local) Submit(_ context.Context, spec api.JobSpec) (api.JobStatus, error) {
-	st, err := l.M.Submit(spec)
+// Submit enqueues a job under the request context's trace ID. Admission
+// rejections become envelope errors: queue_full (with a retry hint) and
+// draining.
+func (l Local) Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, error) {
+	st, err := l.M.SubmitTraced(spec, trace.IDFromContext(ctx))
 	switch {
 	case err == nil:
 		return st, nil
@@ -52,6 +54,20 @@ func (l Local) Status(_ context.Context, id int64) (api.JobStatus, error) {
 		return api.JobStatus{}, api.WrapError(err, api.CodeUnknownJob)
 	default:
 		return api.JobStatus{}, api.WrapError(err, api.CodeInternal)
+	}
+}
+
+// JobTrace returns a job's lifecycle span timeline; ids outside the
+// bounded trace ring become unknown_job (404).
+func (l Local) JobTrace(_ context.Context, id int64) (api.JobTrace, error) {
+	tr, err := l.M.Trace(id)
+	switch {
+	case err == nil:
+		return tr, nil
+	case errors.Is(err, ErrUnknownJob):
+		return api.JobTrace{}, api.WrapError(err, api.CodeUnknownJob)
+	default:
+		return api.JobTrace{}, api.WrapError(err, api.CodeInternal)
 	}
 }
 

@@ -11,6 +11,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"relaxsched/internal/api"
+	"relaxsched/internal/trace"
 )
 
 // newTestServer starts a manager plus its HTTP handler, wired for cleanup.
@@ -188,8 +191,10 @@ func TestHTTPQueueFull429(t *testing.T) {
 	}
 }
 
-// TestHTTPDraining503: after Close begins, submissions get 503 and healthz
-// flips to draining.
+// TestHTTPDraining503: after Close begins, submissions get 503 while
+// healthz stays 200 but reports the drain explicitly — a draining node
+// is alive and finishing work, not dead, and probes must be able to tell
+// the two apart without decoding a 503.
 func TestHTTPDraining503(t *testing.T) {
 	m, srv := newTestServer(t, Options{Workers: 1})
 	if err := m.Close(context.Background()); err != nil {
@@ -204,8 +209,112 @@ func TestHTTPDraining503(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: %s", hresp.Status)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %s, want 200", hresp.Status)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != api.StatusDraining {
+		t.Fatalf("healthz status while draining = %q, want %q", health["status"], api.StatusDraining)
+	}
+}
+
+// TestHTTPJobTrace: a finished job's lifecycle is reconstructable from
+// GET /v1/jobs/{id}/trace — the caller-supplied X-Relax-Trace-Id is kept
+// for the job's whole life and echoed back, the span names walk the
+// documented lifecycle in order, and offsets are monotone.
+func TestHTTPJobTrace(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1})
+
+	body, err := json.Marshal(testSpec("mis", "sequential"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.Header, "trace-http-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if got := resp.Header.Get(trace.Header); got != "trace-http-test" {
+		t.Fatalf("submit echoed trace id %q, want trace-http-test", got)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if final := pollHTTP(t, srv.URL, st.ID); final.State != StateDone {
+		t.Fatalf("job ended %s: %+v", final.State, final)
+	}
+
+	tresp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %s", tresp.Status)
+	}
+	var tr JobTrace
+	if err := json.NewDecoder(tresp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != st.ID {
+		t.Fatalf("trace id = %d, want %d", tr.ID, st.ID)
+	}
+	if tr.TraceID != "trace-http-test" {
+		t.Fatalf("trace carries trace_id %q, want trace-http-test", tr.TraceID)
+	}
+	want := []string{"accepted", "queued", "dispatched", "graph-build", "executing", "done"}
+	i := 0
+	var prev int64
+	for _, s := range tr.Spans {
+		if s.StartNanos < prev {
+			t.Fatalf("span %q starts at %d, before previous start %d", s.Name, s.StartNanos, prev)
+		}
+		prev = s.StartNanos
+		if i < len(want) && s.Name == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("trace spans %v missing lifecycle subsequence %v (matched %d)", tr.Spans, want, i)
+	}
+
+	// Unknown jobs answer the usual envelope, with the request's trace id
+	// stamped in.
+	ureq, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/999999/trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ureq.Header.Set(trace.Header, "trace-unknown")
+	uresp, err := http.DefaultClient.Do(ureq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uresp.Body.Close()
+	if uresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace fetch: %s", uresp.Status)
+	}
+	var envelope api.Error
+	if err := json.NewDecoder(uresp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Code != api.CodeUnknownJob {
+		t.Fatalf("unknown trace code = %q, want %q", envelope.Code, api.CodeUnknownJob)
+	}
+	if envelope.TraceID != "trace-unknown" {
+		t.Fatalf("error envelope trace_id = %q, want trace-unknown", envelope.TraceID)
 	}
 }
 

@@ -87,6 +87,9 @@ type job struct {
 	submitted time.Time
 	// recovered marks a job replayed from the write-ahead log at boot.
 	recovered bool
+	// traceID is the request-correlation ID minted (or forwarded) at
+	// admission; it rides on the job's lifecycle trace and log lines.
+	traceID string
 }
 
 func (j *job) status() JobStatus {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"relaxsched/internal/api"
@@ -56,6 +58,13 @@ type LoadConfig struct {
 	// HTTPClient overrides the typed client's underlying *http.Client
 	// (default: the api package's shared timed client).
 	HTTPClient *http.Client
+	// Progress, when non-nil with a positive ProgressInterval, receives a
+	// one-line rolling summary every interval: submit attempts, accepted
+	// jobs, terminal jobs, admission rejections, and the current
+	// client-observed p99 latency.
+	Progress io.Writer
+	// ProgressInterval is the period of the progress line (0 disables).
+	ProgressInterval time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -177,6 +186,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 		latencies []float64
 		res       LoadResult
 		firstErr  error
+		counters  loadCounters
 	)
 	next := make(chan int, cfg.Jobs)
 	for i := 0; i < cfg.Jobs; i++ {
@@ -186,13 +196,48 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 
 	res.Terminal = make(map[int64]JobState)
 	start := time.Now()
+
+	if cfg.Progress != nil && cfg.ProgressInterval > 0 {
+		stopProgress := make(chan struct{})
+		progressDone := make(chan struct{})
+		// The goroutine is joined, not just signaled: the caller may write
+		// its report to the same writer the moment RunLoad returns.
+		defer func() {
+			close(stopProgress)
+			<-progressDone
+		}()
+		go func() {
+			defer close(progressDone)
+			t := time.NewTicker(cfg.ProgressInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-t.C:
+					mu.Lock()
+					sample := append([]float64(nil), latencies...)
+					mu.Unlock()
+					p99 := 0.0
+					if len(sample) > 0 {
+						p99, _ = stats.Percentile(sample, 99)
+					}
+					fmt.Fprintf(cfg.Progress,
+						"progress: submitted=%d accepted=%d terminal=%d rejected=%d p99=%.1fms\n",
+						counters.submitted.Load(), counters.accepted.Load(),
+						counters.terminal.Load(), counters.rejected.Load(), p99*1e3)
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				id, lat, state, rejected, err := runOneJob(ctx, cli, cfg, i)
+				id, lat, state, rejected, err := runOneJob(ctx, cli, cfg, i, &counters)
 				mu.Lock()
 				res.Rejected += rejected
 				if id != 0 {
@@ -239,13 +284,22 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadResult, error) {
 	return res, nil
 }
 
+// loadCounters are the live counts behind the rolling progress line,
+// updated by every closed-loop client as it goes.
+type loadCounters struct {
+	submitted atomic.Int64 // submit attempts, including rejected retries
+	accepted  atomic.Int64 // jobs the service acknowledged with a 202
+	terminal  atomic.Int64 // jobs observed reaching done/failed/canceled
+	rejected  atomic.Int64 // queue-full and draining rejections
+}
+
 // runOneJob submits job i (retrying admission rejections with the
 // server-suggested backoff) and polls it to completion, returning the
 // accepted job id (0 if acceptance was never observed), the
 // client-observed latency and the final state. The id is returned even
 // when the poll errors out, so the caller can account for accepted jobs
 // whose fate this run never saw.
-func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (int64, time.Duration, JobState, int, error) {
+func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int, counters *loadCounters) (int64, time.Duration, JobState, int, error) {
 	spec := defaultJobSpec()
 	spec.Workload = cfg.Workloads[i%len(cfg.Workloads)]
 	spec.Mode = cfg.Mode
@@ -263,10 +317,12 @@ func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (int
 		if err := ctx.Err(); err != nil {
 			return 0, 0, "", rejected, err
 		}
+		counters.submitted.Add(1)
 		st, err := cli.Submit(ctx, spec)
 		if err != nil {
 			if api.IsCode(err, api.CodeQueueFull) || api.IsCode(err, api.CodeDraining) {
 				rejected++
+				counters.rejected.Add(1)
 				wait := cfg.PollInterval
 				var e *api.Error
 				if errors.As(err, &e) && e.RetryAfterMS > 0 {
@@ -282,6 +338,7 @@ func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (int
 			return 0, 0, "", rejected, fmt.Errorf("loadgen: submit: %w", err)
 		}
 		id = st.ID
+		counters.accepted.Add(1)
 		break
 	}
 
@@ -297,6 +354,7 @@ func runOneJob(ctx context.Context, cli *api.Client, cfg LoadConfig, i int) (int
 		}
 		switch st.State {
 		case StateDone, StateFailed, StateCanceled:
+			counters.terminal.Add(1)
 			return id, time.Since(start), st.State, rejected, nil
 		}
 	}

@@ -23,16 +23,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
 
+	"relaxsched/internal/api"
 	"relaxsched/internal/control"
 	"relaxsched/internal/core"
+	"relaxsched/internal/metricsexport"
 	"relaxsched/internal/ranktrack"
 	"relaxsched/internal/sched"
 	"relaxsched/internal/sched/kbounded"
+	"relaxsched/internal/trace"
 	"relaxsched/internal/wal"
 	"relaxsched/internal/workload"
 )
@@ -96,6 +99,15 @@ type Options struct {
 	P99SLO          time.Duration
 	ControlInterval time.Duration
 
+	// Logger receives the manager's structured log output; every job-scoped
+	// line carries job_id and trace_id. Nil discards (library default —
+	// relaxd always injects one).
+	Logger *slog.Logger
+	// TraceCapacity bounds the per-job lifecycle trace ring served by
+	// GET /v1/jobs/{id}/trace; the oldest traces are evicted first
+	// (default trace.DefaultCapacity).
+	TraceCapacity int
+
 	// startPaused starts the manager without its worker pool (and, under
 	// JobSched "auto", without its control loop), so tests can fill the
 	// queue deterministically (admission control, 429 paths). In-package
@@ -131,6 +143,9 @@ func (o Options) withDefaults() Options {
 	if o.ControlInterval == 0 {
 		o.ControlInterval = 250 * time.Millisecond
 	}
+	if o.Logger == nil {
+		o.Logger = trace.DiscardLogger()
+	}
 	return o
 }
 
@@ -143,6 +158,16 @@ type Manager struct {
 	cache     *graphCache
 	started   time.Time
 	wg        sync.WaitGroup
+
+	// Observability: the structured logger (job-scoped lines carry job_id
+	// and trace_id), the bounded per-job lifecycle trace ring behind
+	// GET /v1/jobs/{id}/trace, and the log-bucketed latency histograms that
+	// back the Prometheus exposition. All four are internally synchronized
+	// and are used outside mu.
+	logger    *slog.Logger
+	rec       *trace.Recorder
+	queueHist *metricsexport.Histogram
+	execHist  *metricsexport.Histogram
 
 	// Adaptive-relaxation machinery, set only under JobSched "auto": the
 	// AIMD controller, the retunable queue it steers, and the shared
@@ -239,6 +264,10 @@ func NewManager(opts Options) (*Manager, error) {
 		runCancel: cancel,
 		cache:     newGraphCache(opts.CacheCapacity),
 		started:   time.Now(),
+		logger:    opts.Logger,
+		rec:       trace.NewRecorder(opts.TraceCapacity),
+		queueHist: metricsexport.NewHistogram(),
+		execHist:  metricsexport.NewHistogram(),
 		ctrl:      ctrl,
 		autoQueue: autoQueue,
 		tunable:   tunable,
@@ -318,8 +347,14 @@ func (m *Manager) openLog() error {
 		m.retainLocked(j.id)
 	}
 	for _, rj := range replay.Unfinished {
-		j := &job{id: rj.ID, spec: rj.Spec, state: StateQueued, submitted: now, recovered: true}
+		// A replayed job gets a fresh trace ID — the pre-crash one was never
+		// persisted — so its re-execution is still greppable end to end.
+		j := &job{id: rj.ID, spec: rj.Spec, state: StateQueued, submitted: now, recovered: true, traceID: trace.NewID()}
 		m.jobs[j.id] = j
+		m.rec.Begin(j.id, j.traceID)
+		m.rec.Next(j.id, "queued", "recovered from job log")
+		m.logger.Info("job recovered from log", "job_id", j.id, "trace_id", j.traceID,
+			"workload", j.spec.Workload, "mode", j.spec.Mode)
 		it := sched.Item{Task: int32(j.id), Priority: rj.Spec.Priority}
 		m.queue.Insert(it)
 		m.tracker.Insert(it)
@@ -397,6 +432,17 @@ func (m *Manager) stopControl() {
 // write-ahead log, the accept record is fsynced before Submit returns —
 // the acknowledgment the caller hands out is the durability guarantee.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	return m.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit under a caller-supplied trace ID (the HTTP layer
+// forwards the request's X-Relax-Trace-Id); empty mints a fresh one. The
+// ID is stamped on the job's lifecycle trace and every one of its log
+// lines.
+func (m *Manager) SubmitTraced(spec JobSpec, traceID string) (JobStatus, error) {
+	if traceID == "" {
+		traceID = trace.NewID()
+	}
 	if err := validateSpec(spec); err != nil {
 		return JobStatus{}, err
 	}
@@ -423,6 +469,9 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	id := m.nextID
 	m.nextID++
+	// The trace opens before the WAL sync so the accept span covers the
+	// durability wait; a rejection below closes it with a terminal marker.
+	m.rec.Begin(id, traceID)
 
 	if m.wlog != nil {
 		m.reserved++
@@ -435,6 +484,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		if err != nil {
 			m.counts.Rejected++
 			m.mu.Unlock()
+			m.rec.Finish(id, "rejected", "job log unavailable")
 			return JobStatus{}, fmt.Errorf("%w: %v", ErrLogUnavailable, err)
 		}
 		if m.closed {
@@ -443,15 +493,18 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			// would resurrect a job whose submitter was told "draining".
 			m.counts.Rejected++
 			m.mu.Unlock()
+			m.rec.Finish(id, "rejected", "drain began during accept sync")
 			if werr := m.wlog.AppendCanceled(id); werr != nil {
 				// The compensating mark could not be persisted (poisoned
 				// log); after a restart this job will replay and execute
 				// even though its submitter was rejected. There is nobody
 				// left to hand the error to, so log it for the operator.
-				log.Printf("service: drain-rejected job %d: cancel mark not persisted, job may execute after restart: %v", id, werr)
+				m.logger.Error("drain-rejected job: cancel mark not persisted, job may execute after restart",
+					"job_id", id, "trace_id", traceID, "err", werr)
 			}
 			return JobStatus{}, ErrDraining
 		}
+		m.rec.Next(id, "wal-synced", "")
 	}
 
 	j := &job{
@@ -459,6 +512,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		spec:      spec,
 		state:     StateQueued,
 		submitted: time.Now(),
+		traceID:   traceID,
 	}
 	m.jobs[j.id] = j
 	it := sched.Item{Task: int32(j.id), Priority: spec.Priority}
@@ -466,9 +520,12 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.tracker.Insert(it)
 	m.pending++
 	m.counts.Submitted++
+	m.rec.Next(id, "queued", "")
 	m.cond.Signal()
 	st := j.status()
 	m.mu.Unlock()
+	m.logger.Debug("job accepted", "job_id", id, "trace_id", traceID,
+		"workload", spec.Workload, "mode", spec.Mode, "priority", spec.Priority)
 	return st, nil
 }
 
@@ -530,21 +587,38 @@ func (m *Manager) Metrics() Metrics {
 		}
 	}
 	return Metrics{
-		UptimeSeconds: time.Since(m.started).Seconds(),
-		JobSched:      m.opts.JobSched,
-		JobSchedK:     jobSchedK,
-		Workers:       m.opts.Workers,
-		QueueCapacity: m.opts.QueueDepth,
-		Draining:      m.closed,
-		Jobs:          counts,
-		Cache:         cache,
-		Cost:          m.cost,
-		RankError:     re,
-		QueueLatency:  m.queueLat.summary(),
-		ExecLatency:   m.execLat.summary(),
-		Controller:    ctrlStats,
-		WAL:           walStats,
+		UptimeSeconds:    time.Since(m.started).Seconds(),
+		JobSched:         m.opts.JobSched,
+		JobSchedK:        jobSchedK,
+		Workers:          m.opts.Workers,
+		QueueCapacity:    m.opts.QueueDepth,
+		Draining:         m.closed,
+		Jobs:             counts,
+		Cache:            cache,
+		Cost:             m.cost,
+		RankError:        re,
+		QueueLatency:     m.queueLat.summary(),
+		ExecLatency:      m.execLat.summary(),
+		QueueLatencyHist: m.queueHist.Snapshot(),
+		ExecLatencyHist:  m.execHist.Snapshot(),
+		Controller:       ctrlStats,
+		WAL:              walStats,
 	}
+}
+
+// Trace returns a job's recorded lifecycle span timeline. Jobs evicted
+// from the bounded trace ring (or never admitted) report ErrUnknownJob
+// even when Status still answers from the longer-lived retention map.
+func (m *Manager) Trace(id int64) (api.JobTrace, error) {
+	tl, ok := m.rec.Get(id)
+	if !ok {
+		return api.JobTrace{}, fmt.Errorf("%w: no trace for id %d", ErrUnknownJob, id)
+	}
+	spans := make([]api.TraceSpan, len(tl.Spans))
+	for i, s := range tl.Spans {
+		spans[i] = api.TraceSpan{Name: s.Name, StartNanos: s.StartNanos, EndNanos: s.EndNanos, Detail: s.Detail}
+	}
+	return api.JobTrace{ID: id, TraceID: tl.TraceID, StartedAt: tl.Start, Spans: spans}, nil
 }
 
 // BeginDrain stops admission without waiting: from this point submissions
@@ -639,6 +713,11 @@ func (m *Manager) Close(ctx context.Context) error {
 		m.retainLocked(j.id)
 	}
 	m.mu.Unlock()
+	for _, j := range canceled {
+		m.rec.Finish(j.id, "canceled", "forced drain discarded the queue")
+		m.logger.Info("job canceled", "job_id", j.id, "trace_id", j.traceID,
+			"workload", j.spec.Workload, "mode", j.spec.Mode, "reason", "forced drain")
+	}
 
 	if m.wlog != nil {
 		if cerr := m.wlog.Close(); cerr != nil && err == nil {
@@ -677,7 +756,11 @@ func (m *Manager) worker() {
 		m.running++
 		m.rank.Observe(rank)
 		m.queueLat.add(j.queueTime.Seconds())
+		// The dispatch span records the paper's per-job quality metric right
+		// where it is observed: this job's rank among all pending jobs.
+		m.rec.Next(j.id, "dispatched", fmt.Sprintf("queue_rank=%d rank_err=%d", rank, rank-1))
 		m.mu.Unlock()
+		m.queueHist.Observe(j.queueTime.Seconds())
 
 		m.execute(j)
 	}
@@ -687,10 +770,16 @@ func (m *Manager) worker() {
 // the registry's context-aware mode dispatch, optional verification, then
 // result recording.
 func (m *Manager) execute(j *job) {
+	// The span opens pessimistically as a build; a cache hit amends the
+	// name once Get reports which it was.
+	m.rec.Next(j.id, "graph-build", "")
 	g, hit, err := m.cache.Get(j.spec.Graph)
 	if err != nil {
 		m.finish(j, nil, fmt.Errorf("building graph: %w", err), 0)
 		return
+	}
+	if hit {
+		m.rec.Amend(j.id, "cache-hit", "")
 	}
 	d, err := workload.Lookup(j.spec.Workload)
 	if err != nil {
@@ -707,6 +796,7 @@ func (m *Manager) execute(j *job) {
 		// per-job batch in the spec wins over the controller.
 		cfg.Tunable = m.tunable
 	}
+	m.rec.Next(j.id, "executing", "")
 	res, err := d.RunModeContext(m.runCtx, g, cfg, runParams(j.spec))
 	if err != nil {
 		m.finish(j, nil, err, 0)
@@ -729,6 +819,9 @@ func (m *Manager) execute(j *job) {
 		WastedWorkLabel: d.WastedWork,
 		ExecNanos:       res.Elapsed.Nanoseconds(),
 		GraphCacheHit:   hit,
+		Steals:          res.Cost.Steals,
+		GlobalFallbacks: res.Cost.GlobalFallbacks,
+		EmptyPolls:      res.Cost.EmptyPolls,
 	}, nil, res.Elapsed)
 }
 
@@ -759,7 +852,6 @@ func (m *Manager) finish(j *job, result *JobResult, err error, elapsed time.Dura
 		}
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.running--
 	switch {
 	case err == nil:
@@ -769,6 +861,9 @@ func (m *Manager) finish(j *job, result *JobResult, err error, elapsed time.Dura
 		m.cost.Pops += result.Pops
 		m.cost.StalePops += result.StalePops
 		m.cost.Wasted += result.Wasted
+		m.cost.Steals += result.Steals
+		m.cost.GlobalFallbacks += result.GlobalFallbacks
+		m.cost.EmptyPolls += result.EmptyPolls
 		m.execLat.add(elapsed.Seconds())
 	case errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled):
 		j.state = StateCanceled
@@ -779,7 +874,28 @@ func (m *Manager) finish(j *job, result *JobResult, err error, elapsed time.Dura
 		j.err = err
 		m.counts.Failed++
 	}
+	state := j.state
 	m.retainLocked(j.id)
+	m.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		m.execHist.Observe(elapsed.Seconds())
+		m.rec.Finish(j.id, "done", result.Summary)
+		m.logger.Info("job done", "job_id", j.id, "trace_id", j.traceID,
+			"workload", j.spec.Workload, "mode", j.spec.Mode,
+			"exec_ms", float64(elapsed.Nanoseconds())/1e6,
+			"queue_ms", float64(j.queueTime.Nanoseconds())/1e6,
+			"queue_rank", j.queueRank, "cache_hit", result.GraphCacheHit)
+	case StateCanceled:
+		m.rec.Finish(j.id, "canceled", err.Error())
+		m.logger.Info("job canceled", "job_id", j.id, "trace_id", j.traceID,
+			"workload", j.spec.Workload, "mode", j.spec.Mode)
+	default:
+		m.rec.Finish(j.id, "failed", err.Error())
+		m.logger.Warn("job failed", "job_id", j.id, "trace_id", j.traceID,
+			"workload", j.spec.Workload, "mode", j.spec.Mode, "err", err)
+	}
 }
 
 // retainLocked appends a finished job to the retention FIFO and forgets the

@@ -31,6 +31,12 @@ type (
 	RankErrorStats = api.RankErrorStats
 	// LatencySummary summarizes a latency distribution in milliseconds.
 	LatencySummary = api.LatencySummary
+	// LatencyHistogram is a log-bucketed latency distribution.
+	LatencyHistogram = api.LatencyHistogram
+	// JobTrace is one job's lifecycle span timeline.
+	JobTrace = api.JobTrace
+	// TraceSpan is one phase of a job's lifecycle.
+	TraceSpan = api.TraceSpan
 	// ControllerStats is the adaptive-controller section of Metrics.
 	ControllerStats = api.ControllerStats
 	// WALStats is the write-ahead-log section of Metrics.

@@ -205,6 +205,12 @@ func (d *Descriptor) RunModeContext(ctx context.Context, g *graph.Graph, cfg Run
 			Cancel:    ctx.Done(),
 			Tunable:   cfg.Tunable,
 		})
+		// Fold the MultiQueue's contention accounting into the uniform cost:
+		// steals and global fallbacks exist only at the scheduler, not in the
+		// executor's per-pop counters.
+		mqs := mq.Stats()
+		res.Cost.Steals = mqs.Steals
+		res.Cost.GlobalFallbacks = mqs.GlobalFallbacks
 	case ModeExact:
 		if cfg.Threads < 1 {
 			return RunResult{}, fmt.Errorf("invalid worker count %d: -threads must be at least 1", cfg.Threads)

@@ -95,6 +95,12 @@ type Cost struct {
 	// EmptyPolls is the number of scheduler polls that found nothing while
 	// work remained (concurrent executions only).
 	EmptyPolls int64
+	// Steals and GlobalFallbacks are the concurrent MultiQueue's contention
+	// accounting (multiqueue.Stats): pops served from another worker's
+	// shard, and affine pops that fell through to global two-choice
+	// sampling. Zero outside ModeConcurrent.
+	Steals          int64
+	GlobalFallbacks int64
 }
 
 // ConcOptions configures Instance.RunConcurrent.
